@@ -1,0 +1,29 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures at a
+laptop-scale default; pass ``--repro-scale=paper`` to approach the paper's
+problem sizes (slow: the paper used native Z3 on a Xeon, this repo runs a
+pure-Python DPLL(T)).
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-scale",
+        action="store",
+        default="laptop",
+        choices=("laptop", "paper"),
+        help="experiment scale: 'laptop' (default, minutes) or 'paper'",
+    )
+
+
+@pytest.fixture(scope="session")
+def scale(request):
+    return request.config.getoption("--repro-scale")
+
+
+@pytest.fixture(scope="session")
+def is_paper_scale(scale):
+    return scale == "paper"

@@ -1,0 +1,39 @@
+"""Fig. 3 — stability curve for the DC servo + piecewise lower bound.
+
+Paper: DC servo 1000/(s^2 + s) with an LQG controller at h = 6 ms; the
+curve starts around J_max ~ 8 ms at L = 0 and the stable region ends near
+2 periods of latency; the red piecewise-linear bound (3 segments) lies
+below the curve everywhere.
+"""
+
+from fractions import Fraction
+
+from repro.eval import run_fig3
+
+
+def check_fig3(result):
+    curve, bound = result.curve, result.bound
+    h = curve.sample_period
+    # Shape claim 1: meaningful margin at zero latency (order of h).
+    assert curve.margins[0] > 0.5 * h
+    # Shape claim 2: the stable region ends between 1 and 4 periods.
+    assert h < curve.max_latency < 4 * h
+    # Shape claim 3: the curve decays to zero at the boundary.
+    assert curve.margins[-1] == 0.0
+    # Safety: the piecewise bound is below the curve everywhere.
+    for lat in [float(x) for x in curve.latencies]:
+        flat = Fraction(lat).limit_denominator(10**12)
+        for seg in bound.segments:
+            if seg.l_lo <= flat <= seg.l_hi:
+                assert float(seg.jitter_bound(flat)) <= curve.margin_at(lat) + 1e-9
+
+
+def test_fig3_stability_curve(benchmark, is_paper_scale):
+    n_points = 25 if is_paper_scale else 9
+    result = benchmark.pedantic(
+        run_fig3, kwargs={"n_points": n_points, "n_segments": 3},
+        rounds=1, iterations=1,
+    )
+    check_fig3(result)
+    print()
+    print(result.render())

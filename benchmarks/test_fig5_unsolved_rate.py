@@ -1,0 +1,30 @@
+"""Fig. 5 — percentage of unsatisfied problems vs number of stages.
+
+Paper: the incremental heuristic trades completeness for speed; with 5-7
+stages exploration quality is "still very good" (single-digit % unsolved)
+and the unsolved fraction grows as slices multiply.
+
+The laptop default asserts the figure's two claims: a small stage count
+solves (almost) everything that the large stage count solves, and the
+unsolved percentage is non-decreasing-ish in the stage count (we allow
+equality since small samples may see no failures at all).
+"""
+
+from repro.eval import run_fig5
+
+
+def test_fig5_unsolved_rate(benchmark, is_paper_scale):
+    if is_paper_scale:
+        kwargs = dict(n_problems=20, stages_list=(2, 4, 6, 8, 10, 12, 14),
+                      routes=4, n_apps=10)
+    else:
+        kwargs = dict(n_problems=4, stages_list=(2, 6, 12), routes=4, n_apps=5)
+    result = benchmark.pedantic(run_fig5, kwargs=kwargs, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    pcts = dict(result.unsolved_pct)
+    stages = sorted(pcts)
+    # Few stages: high-quality exploration (low unsolved rate).
+    assert pcts[stages[0]] <= 50.0
+    # The unsolved rate must not *improve* dramatically with more slices.
+    assert pcts[stages[-1]] >= pcts[stages[0]] - 1e-9

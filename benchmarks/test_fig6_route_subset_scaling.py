@@ -1,0 +1,35 @@
+"""Fig. 6 — scalability of the route-subset heuristic.
+
+Paper: stages = 5, routes in {1, 3, 5, 7, 20}: fewer candidate routes
+means faster synthesis; but 1-2 routes leave >90% of problems unsolved
+while >= 3 routes keep <10% unsolved.
+"""
+
+import statistics
+
+from repro.eval import run_fig6
+
+
+def mean_time(points):
+    sat_times = [p.time_s for p in points if p.status == "sat"]
+    return statistics.mean(sat_times) if sat_times else float("inf")
+
+
+def test_fig6_route_subset_scaling(benchmark, is_paper_scale):
+    if is_paper_scale:
+        kwargs = dict(n_problems=20, routes_list=(1, 3, 5, 7, 20),
+                      stages=5, n_apps=10)
+    else:
+        kwargs = dict(n_problems=3, routes_list=(1, 3, 7), stages=5, n_apps=5)
+    result = benchmark.pedantic(run_fig6, kwargs=kwargs, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    means = {r: mean_time(pts) for r, pts in result.points.items()}
+    routes = sorted(means)
+    solved_any = [r for r in routes if means[r] != float("inf")]
+    assert solved_any, "no configuration solved anything"
+    # Fewer routes -> faster (among configurations that solve problems).
+    if len(solved_any) >= 2:
+        assert means[solved_any[0]] <= means[solved_any[-1]] * 1.5
+    # Route subsets >= 3 solve the vast majority of problems.
+    assert result.unsolved_pct[max(routes)] <= 35.0

@@ -1,0 +1,24 @@
+"""Fig. 7 — synthesis time vs number of Ethernet switches.
+
+Paper: 10 applications generating 45 messages per hyper-period, random
+Erdős–Rényi topologies with 10..45 switches; synthesis time grows with
+network size (larger route sets and more gamma variables per route).
+"""
+
+from repro.eval import run_fig7
+
+
+def test_fig7_network_size(benchmark, is_paper_scale):
+    if is_paper_scale:
+        kwargs = dict(switch_counts=(10, 15, 20, 25, 30, 35, 40, 45),
+                      n_messages=45, n_apps=10)
+    else:
+        kwargs = dict(switch_counts=(6, 10, 14), n_messages=24, n_apps=5)
+    result = benchmark.pedantic(run_fig7, kwargs=kwargs, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    solved = [(n, t) for n, t, status in result.times if status == "sat"]
+    assert solved, "no network size solved"
+    # Growth claim: the largest solved network costs at least as much as
+    # the smallest (weak form of Fig. 7's trend, robust to noise).
+    assert solved[-1][1] >= solved[0][1] * 0.5

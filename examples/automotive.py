@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""The paper's Table I case study: a General Motors automotive network.
+
+20 control applications (sensors: camera/radar/lidar; ECUs: perception,
+tracking, active safety, autonomous control) communicate over the
+8-switch topology of the paper's Fig. 1 at 10 Mbit/s (ld = 1.2 ms).
+
+Compares stability-aware synthesis against the deadline-only state of the
+art, reproducing the paper's headline: the deadline schedule meets every
+deadline yet leaves applications *unstable*, while the stability-aware
+schedule keeps all of them stable.
+
+Run:  python examples/automotive.py [n_apps]      (default 8; paper: 20)
+"""
+
+import sys
+
+from repro.eval import gm_case_study, run_table1
+from repro.sim import cross_check_e2e, simulate_solution
+
+
+def main() -> None:
+    n_apps = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    problem = gm_case_study(n_apps=n_apps)
+    print(f"GM case study: {len(problem.apps)} apps, "
+          f"{problem.num_messages} messages / "
+          f"{float(problem.hyperperiod) * 1000:.0f} ms hyper-period, "
+          f"ld = {float(problem.delays.ld) * 1000:.1f} ms\n")
+
+    result = run_table1(n_apps=n_apps, routes=3, stages=5)
+    print(result.render())
+
+    # Replay the stability-aware schedule on the TSN switch simulator.
+    from repro.core import SynthesisOptions, synthesize
+
+    res = synthesize(problem, SynthesisOptions(routes=3, stages=5))
+    if res.ok:
+        trace = simulate_solution(res.solution)
+        cross_check_e2e(res.solution, trace)
+        print(f"\nsimulated {len(trace.arrivals)} frames through the "
+              f"802.1Qbv switch model: measured e2e == analytical e2e")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's Fig. 3: the stability curve of a DC servo.
+
+Plant 1000/(s^2 + s) with a discrete LQG controller at h = 6 ms; prints
+the jitter-margin curve J_max(L), the piecewise-linear lower bound, and
+an ASCII rendering of the stable region.
+
+Run:  python examples/stability_curve.py
+"""
+
+from fractions import Fraction
+
+from repro.eval import run_fig3
+
+
+def ascii_plot(curve, bound, width: int = 64, height: int = 18) -> str:
+    """Terminal rendering of Fig. 3 (curve `*`, bound `+`, both `#`)."""
+    import numpy as np
+
+    lmax = float(curve.latencies[-1]) or 1.0
+    jmax = float(max(curve.margins)) * 1.1 or 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def put(x, y, ch):
+        col = min(width - 1, int(x / lmax * (width - 1)))
+        row = min(height - 1, int(y / jmax * (height - 1)))
+        row = height - 1 - row
+        cur = grid[row][col]
+        grid[row][col] = "#" if cur not in (" ", ch) else ch
+
+    for lat in [lmax * i / (width * 2) for i in range(width * 2 + 1)]:
+        put(lat, curve.margin_at(lat), "*")
+        flat = Fraction(lat).limit_denominator(10**12)
+        for seg in bound.segments:
+            if seg.l_lo <= flat <= seg.l_hi:
+                val = float(seg.jitter_bound(flat))
+                if val >= 0:
+                    put(lat, val, "+")
+    lines = ["".join(row) for row in grid]
+    lines.append("-" * width)
+    lines.append(f"L: 0 .. {lmax * 1000:.1f} ms   "
+                 f"J: 0 .. {jmax * 1000:.1f} ms   (*: curve, +: bound)")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    result = run_fig3(n_points=13, n_segments=3)
+    print("Fig. 3 — DC servo 1000/(s^2+s), LQG, h = 6 ms\n")
+    print(result.render())
+    print()
+    print(ascii_plot(result.curve, result.bound))
+    print("\nstability condition per segment (Eq. 2):")
+    for k, seg in enumerate(result.bound.segments, 1):
+        print(f"  {k}: L + {float(seg.alpha):.3f} * J <= "
+              f"{float(seg.beta) * 1000:.3f} ms   for L in "
+              f"[{float(seg.l_lo) * 1000:.2f}, {float(seg.l_hi) * 1000:.2f}] ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""repro — stability-aware integrated routing and scheduling for control
+applications in Ethernet networks (Mahfouzi et al., DATE 2018).
+
+Public API re-exports: the most common entry points from each subpackage.
+See README.md for the architecture and DESIGN.md for the system inventory.
+"""
+
+from .core import (
+    ControlApplication,
+    MODE_DEADLINE,
+    MODE_STABILITY,
+    Solution,
+    SynthesisOptions,
+    SynthesisProblem,
+    SynthesisResult,
+    synthesize,
+    validate_solution,
+)
+from .errors import (
+    ControlDesignError,
+    EncodingError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    StabilityAnalysisError,
+    TopologyError,
+    ValidationError,
+)
+from .network import DelayModel, Flow, Network, gm_topology, simple_testbed
+from .sim import simulate_solution
+from .stability import (
+    StabilityCurve,
+    StabilitySpec,
+    compute_stability_curve,
+    fit_lower_bound,
+    jitter_margin,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ControlApplication",
+    "ControlDesignError",
+    "DelayModel",
+    "EncodingError",
+    "Flow",
+    "MODE_DEADLINE",
+    "MODE_STABILITY",
+    "Network",
+    "ReproError",
+    "SimulationError",
+    "Solution",
+    "SolverError",
+    "StabilityAnalysisError",
+    "StabilityCurve",
+    "StabilitySpec",
+    "SynthesisOptions",
+    "SynthesisProblem",
+    "SynthesisResult",
+    "TopologyError",
+    "ValidationError",
+    "compute_stability_curve",
+    "fit_lower_bound",
+    "gm_topology",
+    "jitter_margin",
+    "simple_testbed",
+    "simulate_solution",
+    "synthesize",
+    "validate_solution",
+    "__version__",
+]

@@ -1,0 +1,94 @@
+"""LQG controller synthesis (the paper's experimental controllers).
+
+The paper evaluates plants "with a discrete-time Linear-Quadratic-Gaussian
+(LQG) controller" (Fig. 3).  :func:`design_lqg` builds the standard
+output-feedback LQG compensator for a ZOH-discretized plant: a steady-state
+Kalman predictor combined with an LQR state feedback, packaged as one
+discrete :class:`~repro.control.lti.StateSpace` from plant output ``y`` to
+control ``u``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ControlDesignError
+from .discretize import c2d
+from .lti import StateSpace
+from .riccati import kalman_gain, lqr_gain
+
+
+@dataclass
+class LqgWeights:
+    """Design weights; ``None`` entries default to identity matrices."""
+
+    Q: Optional[np.ndarray] = None   # state cost
+    R: Optional[np.ndarray] = None   # input cost
+    W: Optional[np.ndarray] = None   # process noise covariance
+    V: Optional[np.ndarray] = None   # measurement noise covariance
+
+
+def design_lqg(
+    plant: StateSpace, h: float, weights: Optional[LqgWeights] = None
+) -> StateSpace:
+    """Design a discrete LQG output-feedback controller for ``plant``.
+
+    Args:
+        plant: continuous-time plant.
+        h: sampling period.
+        weights: optional LQG weights (default: identity).
+
+    Returns:
+        The discrete controller as a state-space system mapping the
+        sampled plant output ``y_k`` to the control ``u_k``:
+
+            xc+ = (A - BK - LC + LDK) xc + L y
+            u   = -K xc
+
+        (the standard observer-based compensator in predictor form).
+    """
+    if plant.is_discrete:
+        raise ControlDesignError("design_lqg expects a continuous plant")
+    weights = weights or LqgWeights()
+    pd = c2d(plant, h)
+    n, m, p = pd.n_states, pd.n_inputs, pd.n_outputs
+    Q = np.eye(n) if weights.Q is None else np.asarray(weights.Q, dtype=float)
+    R = np.eye(m) if weights.R is None else np.asarray(weights.R, dtype=float)
+    W = np.eye(n) if weights.W is None else np.asarray(weights.W, dtype=float)
+    V = np.eye(p) if weights.V is None else np.asarray(weights.V, dtype=float)
+
+    K, _ = lqr_gain(pd.A, pd.B, Q, R)
+    L, _ = kalman_gain(pd.A, pd.C, W, V)
+
+    Ac = pd.A - pd.B @ K - L @ pd.C + L @ pd.D @ K
+    Bc = L
+    Cc = -K
+    Dc = np.zeros((m, p))
+    controller = StateSpace(Ac, Bc, Cc, Dc, dt=h)
+    return controller
+
+
+def closed_loop(plant_d: StateSpace, controller: StateSpace) -> StateSpace:
+    """Discrete closed loop of a strictly-proper plant and a controller.
+
+    Feedback convention: ``u = controller(y)`` with the loop sign baked
+    into the controller (LQG above outputs ``-K xhat``).  Requires
+    ``plant_d.D == 0`` (true for ZOH-discretized strictly proper plants).
+    """
+    if not plant_d.is_discrete or not controller.is_discrete:
+        raise ControlDesignError("closed_loop expects two discrete systems")
+    if np.any(plant_d.D != 0):
+        raise ControlDesignError("closed_loop requires a strictly proper plant")
+    A, B, C = plant_d.A, plant_d.B, plant_d.C
+    Ac, Bc, Cc, Dc = controller.A, controller.B, controller.C, controller.D
+    n, nc = plant_d.n_states, controller.n_states
+    top = np.hstack([A + B @ Dc @ C, B @ Cc])
+    bottom = np.hstack([Bc @ C, Ac])
+    Acl = np.vstack([top, bottom])
+    Bcl = np.zeros((n + nc, plant_d.n_inputs))
+    Ccl = np.hstack([C, np.zeros((plant_d.n_outputs, nc))])
+    Dcl = np.zeros((plant_d.n_outputs, plant_d.n_inputs))
+    return StateSpace(Acl, Bcl, Ccl, Dcl, dt=plant_d.dt)

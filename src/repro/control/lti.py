@@ -1,0 +1,151 @@
+"""Linear time-invariant state-space systems (paper Sec. II-C, Eq. 1).
+
+Plants are continuous-time LTI systems ``x' = A x + B u``; controllers are
+discrete-time LTI systems.  Both are represented by :class:`StateSpace`
+with a ``dt`` attribute (``None`` for continuous time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ControlDesignError
+
+
+def _as_matrix(m, rows: Optional[int] = None, cols: Optional[int] = None) -> np.ndarray:
+    arr = np.atleast_2d(np.asarray(m, dtype=float))
+    if rows is not None and arr.shape[0] != rows:
+        raise ControlDesignError(f"expected {rows} rows, got {arr.shape[0]}")
+    if cols is not None and arr.shape[1] != cols:
+        raise ControlDesignError(f"expected {cols} cols, got {arr.shape[1]}")
+    return arr
+
+
+@dataclass
+class StateSpace:
+    """A state-space system ``(A, B, C, D)``, continuous or discrete.
+
+    Attributes:
+        A, B, C, D: system matrices with consistent dimensions.
+        dt: sampling period for discrete-time systems, None for
+            continuous time.
+    """
+
+    A: np.ndarray
+    B: np.ndarray
+    C: np.ndarray
+    D: np.ndarray
+    dt: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        self.A = _as_matrix(self.A)
+        n = self.A.shape[0]
+        if self.A.shape[1] != n:
+            raise ControlDesignError("A must be square")
+        self.B = _as_matrix(self.B, rows=n)
+        m = self.B.shape[1]
+        self.C = _as_matrix(self.C, cols=n)
+        p = self.C.shape[0]
+        self.D = _as_matrix(self.D, rows=p, cols=m)
+        if self.dt is not None and self.dt <= 0:
+            raise ControlDesignError("dt must be positive for discrete systems")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_states(self) -> int:
+        return self.A.shape[0]
+
+    @property
+    def n_inputs(self) -> int:
+        return self.B.shape[1]
+
+    @property
+    def n_outputs(self) -> int:
+        return self.C.shape[0]
+
+    @property
+    def is_discrete(self) -> bool:
+        return self.dt is not None
+
+    def poles(self) -> np.ndarray:
+        return np.linalg.eigvals(self.A)
+
+    def is_stable(self, tol: float = 1e-9) -> bool:
+        """Hurwitz (continuous) or Schur (discrete) stability."""
+        p = self.poles()
+        if self.is_discrete:
+            return bool(np.all(np.abs(p) < 1 - tol))
+        return bool(np.all(p.real < -tol))
+
+    # ------------------------------------------------------------------
+
+    def frequency_response(self, omega: np.ndarray) -> np.ndarray:
+        """Transfer matrix evaluated on the imaginary axis / unit circle.
+
+        For continuous systems returns ``C (jwI - A)^-1 B + D``; for
+        discrete systems ``C (e^{jw dt} I - A)^-1 B + D`` (so ``omega`` is
+        still a *continuous* frequency in rad/s, as used by the
+        jitter-margin criterion which mixes both domains).
+        Output shape: ``(len(omega), p, m)``.
+        """
+        n = self.n_states
+        out = np.empty((len(omega), self.n_outputs, self.n_inputs), dtype=complex)
+        eye = np.eye(n)
+        for i, w in enumerate(omega):
+            s = np.exp(1j * w * self.dt) if self.is_discrete else 1j * w
+            try:
+                out[i] = self.C @ np.linalg.solve(s * eye - self.A, self.B) + self.D
+            except np.linalg.LinAlgError:
+                # s is a pole: the response is unbounded there.
+                out[i] = np.inf
+        return out
+
+    def siso_response(self, omega: np.ndarray) -> np.ndarray:
+        """Scalar frequency response (requires a SISO system)."""
+        if self.n_inputs != 1 or self.n_outputs != 1:
+            raise ControlDesignError("siso_response requires a SISO system")
+        return self.frequency_response(omega)[:, 0, 0]
+
+    def __repr__(self) -> str:
+        kind = f"discrete dt={self.dt}" if self.is_discrete else "continuous"
+        return (
+            f"StateSpace(n={self.n_states}, inputs={self.n_inputs}, "
+            f"outputs={self.n_outputs}, {kind})"
+        )
+
+
+def tf_to_ss(num: Sequence[float], den: Sequence[float]) -> StateSpace:
+    """SISO transfer function -> controllable canonical state space.
+
+    >>> sys = tf_to_ss([1000], [1, 1, 0])   # the paper's DC servo
+    >>> sys.n_states
+    2
+    """
+    num = np.atleast_1d(np.asarray(num, dtype=float))
+    den = np.atleast_1d(np.asarray(den, dtype=float))
+    if den[0] == 0:
+        raise ControlDesignError("leading denominator coefficient must be nonzero")
+    num = num / den[0]
+    den = den / den[0]
+    n = len(den) - 1
+    if n == 0:
+        return StateSpace(np.zeros((0, 0)), np.zeros((0, 1)), np.zeros((1, 0)),
+                          [[num[-1]]])
+    if len(num) > len(den):
+        raise ControlDesignError("improper transfer function (num order > den order)")
+    num_padded = np.zeros(n + 1)
+    num_padded[n + 1 - len(num):] = num
+    d = num_padded[0]
+    # Controllable canonical form.
+    A = np.zeros((n, n))
+    A[0, :] = -den[1:]
+    A[1:, :-1] = np.eye(n - 1)
+    B = np.zeros((n, 1))
+    B[0, 0] = 1.0
+    C = (num_padded[1:] - d * den[1:]).reshape(1, n)
+    D = np.array([[d]])
+    return StateSpace(A, B, C, D)

@@ -1,0 +1,119 @@
+"""The benchmark plant database (paper Sec. VI).
+
+"For the three experiments, we randomly choose control applications from a
+database with inverted pendulums, ball and beam processes, DC servos, and
+harmonic oscillators.  These plants are considered to be representative
+for realistic control applications and are extensively used for
+experimental evaluation in the literature [2]."
+
+Each factory returns a continuous-time SISO :class:`StateSpace` with
+standard textbook parameters plus a *nominal sampling period* suggestion
+used by the workload generators.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from .lti import StateSpace, tf_to_ss
+
+
+@dataclass(frozen=True)
+class PlantSpec:
+    """A named plant with its customary sampling period (seconds).
+
+    ``control_r`` is the LQR input weight (with output weighting
+    ``Q = C'C``) tuned so the resulting LQG loop has a realistic
+    jitter-margin curve: ``J_max(0)`` on the order of the sampling period
+    and nominal stability lost around 2-3 periods of latency, matching
+    the shape of the paper's Fig. 3.
+    """
+
+    name: str
+    system: StateSpace
+    nominal_period: float
+    control_r: float = 1e-4
+
+
+def dc_servo(gain: float = 1000.0) -> PlantSpec:
+    """The paper's Fig. 3 plant: ``G(s) = 1000 / (s^2 + s)``, h = 6 ms."""
+    return PlantSpec(
+        "dc_servo", tf_to_ss([gain], [1, 1, 0]), nominal_period=0.006,
+        control_r=1e-3,
+    )
+
+
+def inverted_pendulum(
+    length: float = 0.3, damping: float = 0.0, g: float = 9.81
+) -> PlantSpec:
+    """Linearized inverted pendulum around the upright equilibrium.
+
+    ``theta'' = (g/l) theta - (b/l) theta' + (1/l) u`` — open-loop unstable
+    with poles at ``+-sqrt(g/l)``.
+    """
+    a = g / length
+    sys = StateSpace(
+        A=[[0.0, 1.0], [a, -damping / length]],
+        B=[[0.0], [1.0 / length]],
+        C=[[1.0, 0.0]],
+        D=[[0.0]],
+    )
+    return PlantSpec("inverted_pendulum", sys, nominal_period=0.02, control_r=1e-5)
+
+
+def ball_and_beam(k: float = 7.0) -> PlantSpec:
+    """Ball-and-beam process: double integrator ``G(s) = k / s^2``.
+
+    The classic lab parameterization (Quanser-style) has gain around 7.
+    """
+    return PlantSpec(
+        "ball_and_beam", tf_to_ss([k], [1, 0, 0]), nominal_period=0.04,
+        control_r=1e-4,
+    )
+
+
+def harmonic_oscillator(omega: float = 10.0, zeta: float = 0.1) -> PlantSpec:
+    """Lightly damped oscillator ``G(s) = w^2 / (s^2 + 2 z w s + w^2)``."""
+    sys = tf_to_ss([omega**2], [1, 2 * zeta * omega, omega**2])
+    return PlantSpec(
+        "harmonic_oscillator", sys, nominal_period=0.05, control_r=1e-2
+    )
+
+
+#: The four families of the paper's plant database.
+PLANT_FACTORIES: Dict[str, Callable[[], PlantSpec]] = {
+    "dc_servo": dc_servo,
+    "inverted_pendulum": inverted_pendulum,
+    "ball_and_beam": ball_and_beam,
+    "harmonic_oscillator": harmonic_oscillator,
+}
+
+
+def plant_database() -> List[PlantSpec]:
+    """All default-parameter plants, in deterministic order."""
+    return [PLANT_FACTORIES[name]() for name in sorted(PLANT_FACTORIES)]
+
+
+def random_plant(rng: random.Random) -> PlantSpec:
+    """Draw a plant uniformly from the database (paper Sec. VI)."""
+    name = rng.choice(sorted(PLANT_FACTORIES))
+    return PLANT_FACTORIES[name]()
+
+
+def paper_controller(spec: PlantSpec, h: float | None = None) -> StateSpace:
+    """The LQG controller used throughout the experiments.
+
+    Output weighting ``Q = C'C`` with the plant's tuned input weight
+    ``control_r`` — an aggressive design whose jitter-margin curve has the
+    shape of the paper's Fig. 3 (see :class:`PlantSpec`).
+    """
+    from .lqg import LqgWeights, design_lqg  # local import: avoid cycle
+
+    sys = spec.system
+    period = spec.nominal_period if h is None else h
+    weights = LqgWeights(Q=sys.C.T @ sys.C, R=np.array([[spec.control_r]]))
+    return design_lqg(sys, period, weights)

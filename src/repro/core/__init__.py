@@ -1,0 +1,44 @@
+"""Core synthesis: the paper's contribution (DESIGN.md S7-S9).
+
+Stability-aware joint routing and scheduling of time-triggered Ethernet
+messages via SMT, with the route-subset and incremental-stage heuristics,
+plus the deadline-only baseline, the solution model, and an independent
+exact validator.
+"""
+
+from .encoding import Encoder, FixedMessage, MessagePlan
+from .export import render_switch_configs, solution_from_dict, solution_to_dict
+from .problem import ControlApplication, SynthesisProblem
+from .refine import RefinedResult, minimize_jitter
+from .solution import AppReport, MessageSchedule, Solution
+from .synthesizer import (
+    MODE_DEADLINE,
+    MODE_STABILITY,
+    SynthesisOptions,
+    SynthesisResult,
+    synthesize,
+)
+from .validator import collect_violations, validate_solution
+
+__all__ = [
+    "AppReport",
+    "ControlApplication",
+    "Encoder",
+    "FixedMessage",
+    "MODE_DEADLINE",
+    "MODE_STABILITY",
+    "MessagePlan",
+    "MessageSchedule",
+    "RefinedResult",
+    "minimize_jitter",
+    "render_switch_configs",
+    "solution_from_dict",
+    "solution_to_dict",
+    "Solution",
+    "SynthesisOptions",
+    "SynthesisProblem",
+    "SynthesisResult",
+    "collect_violations",
+    "synthesize",
+    "validate_solution",
+]

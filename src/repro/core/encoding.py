@@ -1,0 +1,286 @@
+"""SMT encoding of the joint routing + scheduling problem (paper Sec. V).
+
+The paper's decision variables are, per message ``m_{i,j}`` and switch
+``v_k``, the output port ``eta_ijk`` and release time ``gamma_ijk``.  We
+realize the same formulation over the paper's own Eq.-(8) route sets: each
+message picks one of its candidate simple routes (one-hot Booleans), which
+fixes every ``eta`` along the route; the ``gamma`` variables are reals per
+(message, switch).  The constraint map:
+
+=====================  =====================================================
+Paper constraint        Encoding
+=====================  =====================================================
+Topology (Eq. 4)        by construction of candidate simple paths
+Contention-free (5)     per directed link, for each pair of (message,
+                        route) usages: ``sel1 & sel2 -> |g1 - g2| >= ld``
+Transposition (6)       along each candidate route: ``sel -> gamma_next >=
+                        gamma_prev + sd + ld`` (sensor release anchored at
+                        the sampling instant ``j h_i``)
+No-loop (7)             by construction (simple paths)
+Route (8)               one-hot selection over the candidate set
+Stability (9)+(10)      exact ``Lmin/Lmax`` min/max encoding plus the
+                        piecewise segments of Eq. (2) -- see
+                        :func:`Encoder.add_stability_constraints`
+Implicit deadline       ``e2e <= h_i`` (both modes; makes one-hyper-period
+                        contention analysis exact, DESIGN.md §4)
+=====================  =====================================================
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import EncodingError
+from ..network.frames import MessageInstance
+from ..network.paths import route_candidates
+from ..smt import (
+    And,
+    Bool,
+    BoolExpr,
+    BoolVal,
+    FALSE_EXPR,
+    Implies,
+    LinExpr,
+    Not,
+    Or,
+    Real,
+    Solver,
+)
+from .problem import ControlApplication, SynthesisProblem
+
+_NAMESPACE = itertools.count()
+
+
+@dataclass
+class FixedMessage:
+    """A message scheduled in an earlier incremental stage (now constant)."""
+
+    uid: str
+    app: str
+    route: List[str]
+    gammas: Dict[str, Fraction]
+    release: Fraction
+    e2e: Fraction
+
+
+@dataclass
+class MessagePlan:
+    """Encoding artifacts for one message being synthesized."""
+
+    message: MessageInstance
+    routes: List[List[str]]
+    selectors: List[BoolExpr]
+    gammas: Dict[str, LinExpr]
+    e2e_by_route: List[LinExpr]
+
+
+class Encoder:
+    """Builds the SMT formulation into a :class:`repro.smt.Solver`.
+
+    One encoder instance corresponds to one solver invocation (one stage
+    of the incremental heuristic, or the whole problem when stages=1).
+    """
+
+    def __init__(
+        self,
+        problem: SynthesisProblem,
+        solver: Solver,
+        route_limit: Optional[int] = None,
+        path_cutoff: Optional[int] = None,
+    ):
+        self.problem = problem
+        self.solver = solver
+        self.route_limit = route_limit
+        self.path_cutoff = path_cutoff
+        self._ns = f"q{next(_NAMESPACE)}"
+        self._route_cache: Dict[str, List[List[str]]] = {}
+        self.plans: Dict[str, MessagePlan] = {}
+        # Directed-link usage: (u, v) -> list of
+        # (uid, guard BoolExpr or None, start-time LinExpr or Fraction)
+        self._link_usage: Dict[Tuple[str, str], List] = {}
+
+    # ------------------------------------------------------------------
+    # Route candidates (Eq. 8 / route-subset heuristic)
+    # ------------------------------------------------------------------
+
+    def candidates_for(self, app: ControlApplication) -> List[List[str]]:
+        routes = self._route_cache.get(app.name)
+        if routes is None:
+            routes = route_candidates(
+                self.problem.network, app.sensor, app.controller,
+                self.route_limit, cutoff=self.path_cutoff,
+            )
+            if not routes:
+                raise EncodingError(
+                    f"app {app.name!r}: no route from {app.sensor!r} to "
+                    f"{app.controller!r}"
+                )
+            self._route_cache[app.name] = routes
+        return routes
+
+    # ------------------------------------------------------------------
+    # Per-message constraints (Eqs. 4, 6, 7, 8 + implicit deadline)
+    # ------------------------------------------------------------------
+
+    def encode_message(self, message: MessageInstance) -> MessagePlan:
+        """Create variables and routing/scheduling constraints for ``m``."""
+        app = self.problem.app_of(message)
+        routes = self.candidates_for(app)
+        sd, ld = self.problem.delays.sd, self.problem.delays.ld
+        uid = message.uid
+        release = message.release
+
+        selectors = [
+            Bool(f"{self._ns}/R[{uid}][{r}]") for r in range(len(routes))
+        ]
+        # Route constraint (Eq. 8): exactly one candidate.
+        self.solver.add(Or(selectors))
+        for a, b in itertools.combinations(selectors, 2):
+            self.solver.add(Or(Not(a), Not(b)))
+
+        gammas: Dict[str, LinExpr] = {}
+        for route in routes:
+            for node in route[1:-1]:
+                if node not in gammas:
+                    gammas[node] = Real(f"{self._ns}/g[{uid}][{node}]")
+
+        e2e_by_route: List[LinExpr] = []
+        for r, route in enumerate(routes):
+            sel = selectors[r]
+            switches = route[1:-1]
+            if not switches:
+                raise EncodingError(
+                    f"app {app.name!r}: direct sensor-controller links are "
+                    "not expressible in the switch model"
+                )
+            # Transposition (Eq. 6) along the chain; the sensor release is
+            # the sampling instant (constant).
+            prev_time: LinExpr | Fraction = release
+            for node in switches:
+                g = gammas[node]
+                self.solver.add(Implies(sel, g - prev_time >= sd + ld))
+                prev_time = g
+            e2e = gammas[switches[-1]] + ld - release
+            e2e_by_route.append(e2e)
+            # Implicit deadline: e2e <= h_i.
+            self.solver.add(Implies(sel, e2e <= app.period))
+            # Record link usages for the contention constraints.
+            for u, v in zip(route, route[1:]):
+                start = release if u == app.sensor else gammas[u]
+                self._link_usage.setdefault((u, v), []).append(
+                    (uid, sel, start)
+                )
+        plan = MessagePlan(message, routes, selectors, gammas, e2e_by_route)
+        self.plans[uid] = plan
+        return plan
+
+    def add_fixed_message(self, fixed: FixedMessage) -> None:
+        """Register an earlier stage's message as constant link usage."""
+        app = self.problem.app_by_name[fixed.app]
+        for u, v in zip(fixed.route, fixed.route[1:]):
+            start = fixed.release if u == app.sensor else fixed.gammas[u]
+            self._link_usage.setdefault((u, v), []).append(
+                (fixed.uid, None, start)
+            )
+
+    # ------------------------------------------------------------------
+    # Contention-free constraints (Eq. 5)
+    # ------------------------------------------------------------------
+
+    def add_contention_constraints(self) -> None:
+        """Pairwise link-exclusive transmission windows.
+
+        For each directed link and each pair of usages by *different*
+        messages: if both routes are selected, their start times must be
+        at least ``ld`` apart (the paper's Eq. 5 with uniform ``ld``).
+        """
+        ld = self.problem.delays.ld
+        for usages in self._link_usage.values():
+            for (uid1, g1, t1), (uid2, g2, t2) in itertools.combinations(usages, 2):
+                if uid1 == uid2:
+                    # Two candidate routes of the same message share a
+                    # link prefix; selection is exclusive, no conflict.
+                    continue
+                both_const = not isinstance(t1, LinExpr) and not isinstance(t2, LinExpr)
+                if both_const:
+                    if abs(t1 - t2) >= ld:
+                        continue
+                    guards = [Not(g) for g in (g1, g2) if g is not None]
+                    self.solver.add(Or(guards) if guards else FALSE_EXPR)
+                    continue
+                separation = Or(
+                    LinExpr.coerce(t1) - LinExpr.coerce(t2) >= ld,
+                    LinExpr.coerce(t2) - LinExpr.coerce(t1) >= ld,
+                )
+                guards = [Not(g) for g in (g1, g2) if g is not None]
+                self.solver.add(Or(*guards, separation))
+
+    # ------------------------------------------------------------------
+    # Stability constraints (Sec. V-B, Eqs. 9 + 10)
+    # ------------------------------------------------------------------
+
+    def add_stability_constraints(
+        self,
+        app: ControlApplication,
+        fixed_e2es: Sequence[Fraction] = (),
+    ) -> Tuple[LinExpr, LinExpr]:
+        """Encode ``delta_i >= 0`` for one application.
+
+        ``Lmin/Lmax`` are tied *exactly* to the min/max end-to-end delay
+        over the app's messages: bounded on one side by every message
+        (``Lmin <= e2e``), and attained on the other via a disjunction
+        (``Lmin >= e2e`` for at least one selected route).  The piecewise
+        condition of Eq. (2) is a disjunction over segments of
+
+            l_lo <= Lmin <= l_hi  and  Lmin + alpha (Lmax - Lmin) <= beta
+
+        ``fixed_e2es`` carries the already-frozen messages of this app in
+        incremental synthesis.
+
+        Returns the ``(Lmin, Lmax)`` terms for model extraction.
+        """
+        spec = app.stability
+        if spec is None:
+            raise EncodingError(f"app {app.name!r} lacks a stability spec")
+        lmin = Real(f"{self._ns}/Lmin[{app.name}]")
+        lmax = Real(f"{self._ns}/Lmax[{app.name}]")
+
+        attain_min: List[BoolExpr] = []
+        attain_max: List[BoolExpr] = []
+        n_bounded = 0
+        for plan in self.plans.values():
+            if plan.message.flow.name != app.name:
+                continue
+            for sel, e2e in zip(plan.selectors, plan.e2e_by_route):
+                self.solver.add(Implies(sel, lmin <= e2e))
+                self.solver.add(Implies(sel, lmax >= e2e))
+                attain_min.append(And(sel, lmin >= e2e))
+                attain_max.append(And(sel, lmax <= e2e))
+            n_bounded += 1
+        for e2e in fixed_e2es:
+            self.solver.add(lmin <= e2e)
+            self.solver.add(lmax >= e2e)
+            attain_min.append(lmin >= LinExpr.constant(e2e))
+            attain_max.append(lmax <= LinExpr.constant(e2e))
+            n_bounded += 1
+        if n_bounded == 0:
+            raise EncodingError(
+                f"app {app.name!r}: stability constraints need >= 1 message"
+            )
+        self.solver.add(Or(attain_min))
+        self.solver.add(Or(attain_max))
+
+        segments = []
+        for seg in spec.segments:
+            jitter_term = lmax - lmin
+            condition = And(
+                lmin >= seg.l_lo,
+                lmin <= seg.l_hi,
+                lmin + seg.alpha * jitter_term <= seg.beta,
+            )
+            segments.append(condition)
+        self.solver.add(Or(segments))
+        return lmin, lmax

@@ -1,0 +1,183 @@
+"""The synthesis driver: basic SMT solve + the two scalability heuristics.
+
+* **Basic solution**: one SMT query over all messages of the hyper-period
+  (``stages=1``), with ``routes=None`` meaning *all* simple routes are
+  candidates (the paper's complete formulation).
+* **Route subset** (Sec. V-C-1): ``routes=K`` restricts each application
+  to its first K shortest routes.
+* **Incremental synthesis** (Sec. V-C-2): ``stages=S`` divides the
+  hyper-period into S time slices; each stage solves only the messages
+  released in its slice, with all earlier stages' routes and release
+  times frozen as constants.  Stability constraints for an application
+  are enforced in every stage that schedules one of its messages, over
+  all of its messages known so far — so by an application's last stage
+  the full Eq. (2) condition holds.  As the paper notes, the heuristics
+  explore a subset of the solution space and may fail on solvable
+  instances (evaluated in Fig. 5 / Fig. 6).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional
+
+from ..errors import EncodingError
+from ..network.frames import MessageInstance
+from ..smt import Solver, sat
+from .encoding import Encoder, FixedMessage
+from .problem import SynthesisProblem
+from .solution import MessageSchedule, Solution
+
+MODE_STABILITY = "stability"
+MODE_DEADLINE = "deadline"
+
+
+@dataclass(frozen=True)
+class SynthesisOptions:
+    """Synthesis configuration (the knobs varied by the paper's figures).
+
+    Attributes:
+        mode: ``"stability"`` (Eqs. 2-3, 10) or ``"deadline"`` (the
+            state-of-the-art baseline of Table I: only ``e2e <= period``).
+        routes: number of candidate shortest routes per application
+            (``None`` = all simple routes, the basic formulation).
+        stages: number of incremental time slices (1 = monolithic).
+        path_cutoff: optional hop bound when enumerating all routes.
+    """
+
+    mode: str = MODE_STABILITY
+    routes: Optional[int] = None
+    stages: int = 1
+    path_cutoff: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in (MODE_STABILITY, MODE_DEADLINE):
+            raise EncodingError(f"unknown mode {self.mode!r}")
+        if self.routes is not None and self.routes < 1:
+            raise EncodingError("routes must be >= 1 (or None for all)")
+        if self.stages < 1:
+            raise EncodingError("stages must be >= 1")
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of a synthesis run."""
+
+    status: str                      # "sat" or "unsat"
+    solution: Optional[Solution]
+    synthesis_time: float
+    stages_completed: int
+    failed_stage: Optional[int] = None
+    statistics: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "sat"
+
+
+def _slice_messages(
+    problem: SynthesisProblem, stages: int
+) -> List[List[MessageInstance]]:
+    """Partition the hyper-period's messages into release-time slices."""
+    hp = problem.hyperperiod
+    width = hp / stages
+    slices: List[List[MessageInstance]] = [[] for _ in range(stages)]
+    for m in problem.messages:
+        idx = min(int(m.release / width), stages - 1)
+        slices[idx].append(m)
+    return slices
+
+
+def synthesize(
+    problem: SynthesisProblem, options: Optional[SynthesisOptions] = None
+) -> SynthesisResult:
+    """Jointly route and schedule all messages of one hyper-period."""
+    opts = options or SynthesisOptions()
+    if opts.mode == MODE_STABILITY:
+        problem.require_stability_specs()
+
+    t0 = time.perf_counter()
+    slices = _slice_messages(problem, opts.stages)
+    fixed: List[FixedMessage] = []
+    stats: Dict[str, int] = {"conflicts": 0, "decisions": 0, "propagations": 0}
+    stages_done = 0
+
+    for stage_idx, stage_messages in enumerate(slices):
+        if not stage_messages:
+            stages_done += 1
+            continue
+        solver = Solver()
+        encoder = Encoder(problem, solver, opts.routes, opts.path_cutoff)
+        for m in stage_messages:
+            encoder.encode_message(m)
+        for fm in fixed:
+            encoder.add_fixed_message(fm)
+        encoder.add_contention_constraints()
+
+        if opts.mode == MODE_STABILITY:
+            stage_apps = {m.flow.name for m in stage_messages}
+            for app_name in sorted(stage_apps):
+                app = problem.app_by_name[app_name]
+                fixed_e2es = [f.e2e for f in fixed if f.app == app_name]
+                encoder.add_stability_constraints(app, fixed_e2es)
+
+        result = solver.check()
+        for key in stats:
+            stats[key] += solver.statistics.get(key, 0)
+        if result != sat:
+            return SynthesisResult(
+                status="unsat",
+                solution=None,
+                synthesis_time=time.perf_counter() - t0,
+                stages_completed=stages_done,
+                failed_stage=stage_idx,
+                statistics=stats,
+            )
+        model = solver.model()
+        for plan in encoder.plans.values():
+            selected = [
+                r for r, sel in enumerate(plan.selectors) if model[sel]
+            ]
+            if len(selected) != 1:
+                raise EncodingError(
+                    f"{plan.message.uid}: route selection not one-hot in model"
+                )
+            route = plan.routes[selected[0]]
+            gammas = {
+                node: model[plan.gammas[node]] for node in route[1:-1]
+            }
+            e2e = model[plan.e2e_by_route[selected[0]]]
+            fixed.append(
+                FixedMessage(
+                    uid=plan.message.uid,
+                    app=plan.message.flow.name,
+                    route=route,
+                    gammas=gammas,
+                    release=plan.message.release,
+                    e2e=e2e,
+                )
+            )
+        stages_done += 1
+
+    elapsed = time.perf_counter() - t0
+    schedules = {
+        fm.uid: MessageSchedule(
+            uid=fm.uid,
+            app=fm.app,
+            route=fm.route,
+            gammas=fm.gammas,
+            release=fm.release,
+            e2e=fm.e2e,
+        )
+        for fm in fixed
+    }
+    solution = Solution(problem, schedules, synthesis_time=elapsed, mode=opts.mode)
+    return SynthesisResult(
+        status="sat",
+        solution=solution,
+        synthesis_time=elapsed,
+        stages_completed=stages_done,
+        statistics=stats,
+    )

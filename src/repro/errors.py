@@ -1,0 +1,52 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SolverError(ReproError):
+    """Raised when the SAT/SMT machinery is used incorrectly.
+
+    Examples: querying a model before a satisfiable ``check()``, adding a
+    malformed clause, or referencing an undeclared variable.
+    """
+
+
+class EncodingError(ReproError):
+    """Raised when a synthesis problem cannot be encoded.
+
+    Examples: a sensor with no path to its controller, a non-positive
+    period, or an empty candidate-route set.
+    """
+
+
+class TopologyError(ReproError):
+    """Raised for malformed network topologies (unknown nodes, self-loops,
+    duplicate links, or type-invalid attachments)."""
+
+
+class ControlDesignError(ReproError):
+    """Raised when controller synthesis fails (non-stabilizable plant,
+    Riccati iteration divergence, or invalid sampling period)."""
+
+
+class StabilityAnalysisError(ReproError):
+    """Raised when the jitter-margin analysis cannot produce a stability
+    curve (e.g. the nominal loop is unstable for every latency)."""
+
+
+class ValidationError(ReproError):
+    """Raised by the independent solution validator when a synthesized
+    solution violates one of the paper's constraints."""
+
+
+class SimulationError(ReproError):
+    """Raised by the discrete-event network simulator on impossible events
+    (e.g. a frame scheduled to transmit before it arrived)."""

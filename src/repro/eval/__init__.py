@@ -1,0 +1,58 @@
+"""Evaluation harness (DESIGN.md S11-S12): workload generators and the
+runners that regenerate every table and figure of the paper (Sec. VI)."""
+
+from .experiments import (
+    Fig3Result,
+    Fig4Result,
+    Fig5Result,
+    Fig6Result,
+    Fig7Result,
+    Table1Result,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_table1,
+)
+from .reporting import format_scatter, format_series, format_table
+from .workloads import (
+    FAST_DELAYS,
+    PAPER_PERIODS,
+    TABLE1_ROWS,
+    experiment_network,
+    fixed_message_count_periods,
+    gm_case_study,
+    problem_with_message_count,
+    random_apps,
+    random_problem,
+    stability_spec_for,
+)
+
+__all__ = [
+    "FAST_DELAYS",
+    "Fig3Result",
+    "Fig4Result",
+    "Fig5Result",
+    "Fig6Result",
+    "Fig7Result",
+    "PAPER_PERIODS",
+    "TABLE1_ROWS",
+    "Table1Result",
+    "experiment_network",
+    "fixed_message_count_periods",
+    "format_scatter",
+    "format_series",
+    "format_table",
+    "gm_case_study",
+    "problem_with_message_count",
+    "random_apps",
+    "random_problem",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_table1",
+    "stability_spec_for",
+]

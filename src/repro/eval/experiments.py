@@ -1,0 +1,362 @@
+"""Experiment runners: one per table/figure of the paper's evaluation.
+
+Each ``run_figN``/``run_table1`` function regenerates the corresponding
+plot's data (see DESIGN.md §2 for the experiment index).  All runners are
+parameterized by a scale so the laptop-default benchmarks stay fast while
+``--full``-style invocations approach the paper's sizes; the *shape*
+claims hold at either scale (EXPERIMENTS.md records both the paper's
+numbers and ours).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..control.plants import paper_controller, plant_database
+from ..core.synthesizer import (
+    MODE_DEADLINE,
+    MODE_STABILITY,
+    SynthesisOptions,
+    SynthesisResult,
+    synthesize,
+)
+from ..core.validator import collect_violations
+from ..stability.curve import StabilityCurve, compute_stability_curve
+from ..stability.piecewise import StabilitySpec, fit_lower_bound
+from . import workloads
+from .reporting import format_scatter, format_series, format_table
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3 — stability curve + piecewise linear lower bound
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig3Result:
+    curve: StabilityCurve
+    bound: StabilitySpec
+
+    def render(self) -> str:
+        rows = []
+        for lat, margin in self.curve.as_table():
+            bound_val = None
+            flat = Fraction(lat).limit_denominator(10**12)
+            for seg in self.bound.segments:
+                if seg.l_lo <= flat <= seg.l_hi:
+                    bound_val = float(seg.jitter_bound(flat))
+            rows.append(
+                (
+                    lat * 1000,
+                    margin * 1000,
+                    bound_val * 1000 if bound_val is not None else float("nan"),
+                )
+            )
+        return format_table(
+            ["L (ms)", "Jmax curve (ms)", "piecewise bound (ms)"], rows
+        )
+
+
+def run_fig3(n_points: int = 13, n_segments: int = 3) -> Fig3Result:
+    """The paper's Fig. 3: DC servo 1000/(s^2+s), LQG, h = 6 ms."""
+    spec = [p for p in plant_database() if p.name == "dc_servo"][0]
+    ctrl = paper_controller(spec)
+    curve = compute_stability_curve(
+        spec.system, spec.nominal_period, ctrl, n_points=n_points
+    )
+    bound = fit_lower_bound(curve, n_segments)
+    return Fig3Result(curve, bound)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4 — incremental-synthesis scalability (time vs #messages x stages)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ScalingPoint:
+    seed: int
+    n_messages: int
+    time_s: float
+    status: str
+
+
+@dataclass
+class Fig4Result:
+    points: Dict[int, List[ScalingPoint]]  # stages -> points
+    routes: int
+
+    def render(self) -> str:
+        series = {
+            f"stages={s}": [(p.n_messages, p.time_s) for p in pts if p.status == "sat"]
+            for s, pts in self.points.items()
+        }
+        return format_scatter(
+            f"Fig. 4 — synthesis time vs messages (routes={self.routes})",
+            series, "messages", "time (s)",
+        )
+
+
+def run_fig4(
+    n_problems: int = 10,
+    stages_list: Sequence[int] = (3, 4, 5, 7, 9, 11),
+    routes: int = 4,
+    n_apps: int = 10,
+    seed0: int = 0,
+) -> Fig4Result:
+    """Paper setup: 60 random 35-node problems x stages in {3..11}."""
+    points: Dict[int, List[ScalingPoint]] = {s: [] for s in stages_list}
+    for i in range(n_problems):
+        problem = workloads.random_problem(seed0 + i, n_apps=n_apps)
+        for stages in stages_list:
+            res = synthesize(problem, SynthesisOptions(routes=routes, stages=stages))
+            points[stages].append(
+                ScalingPoint(seed0 + i, problem.num_messages,
+                             res.synthesis_time, res.status)
+            )
+    return Fig4Result(points, routes)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 — % unsolved vs number of stages
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig5Result:
+    unsolved_pct: List[Tuple[int, float]]  # (stages, % unsolved)
+
+    def render(self) -> str:
+        return format_series(
+            "Fig. 5 — unsatisfied problems vs incremental stages",
+            {"unsolved %": [(float(s), pct) for s, pct in self.unsolved_pct]},
+            "stages", "% unsolved",
+        )
+
+
+def run_fig5(
+    n_problems: int = 10,
+    stages_list: Sequence[int] = (2, 4, 6, 8, 10, 12, 14),
+    routes: int = 4,
+    n_apps: int = 10,
+    seed0: int = 0,
+) -> Fig5Result:
+    out = []
+    problems = [
+        workloads.random_problem(seed0 + i, n_apps=n_apps)
+        for i in range(n_problems)
+    ]
+    for stages in stages_list:
+        failures = 0
+        for problem in problems:
+            res = synthesize(problem, SynthesisOptions(routes=routes, stages=stages))
+            if not res.ok:
+                failures += 1
+        out.append((stages, 100.0 * failures / max(1, len(problems))))
+    return Fig5Result(out)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 — route-subset scalability (time vs #messages x routes)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig6Result:
+    points: Dict[int, List[ScalingPoint]]  # routes -> points
+    stages: int
+    unsolved_pct: Dict[int, float]
+
+    def render(self) -> str:
+        series = {
+            f"routes={r}": [(p.n_messages, p.time_s) for p in pts if p.status == "sat"]
+            for r, pts in self.points.items()
+        }
+        body = format_scatter(
+            f"Fig. 6 — synthesis time vs messages (stages={self.stages})",
+            series, "messages", "time (s)",
+        )
+        rows = [(r, pct) for r, pct in sorted(self.unsolved_pct.items())]
+        return body + "\n\n" + format_table(["routes", "% unsolved"], rows)
+
+
+def run_fig6(
+    n_problems: int = 10,
+    routes_list: Sequence[int] = (1, 3, 5, 7, 20),
+    stages: int = 5,
+    n_apps: int = 10,
+    seed0: int = 0,
+) -> Fig6Result:
+    points: Dict[int, List[ScalingPoint]] = {r: [] for r in routes_list}
+    unsolved: Dict[int, int] = {r: 0 for r in routes_list}
+    problems = [
+        workloads.random_problem(seed0 + i, n_apps=n_apps)
+        for i in range(n_problems)
+    ]
+    for problem in problems:
+        for routes in routes_list:
+            res = synthesize(problem, SynthesisOptions(routes=routes, stages=stages))
+            points[routes].append(
+                ScalingPoint(0, problem.num_messages, res.synthesis_time, res.status)
+            )
+            if not res.ok:
+                unsolved[routes] += 1
+    pct = {r: 100.0 * n / max(1, len(problems)) for r, n in unsolved.items()}
+    return Fig6Result(points, stages, pct)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 — scalability with network size
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Fig7Result:
+    times: List[Tuple[int, float, str]]  # (n_switches, time, status)
+
+    def render(self) -> str:
+        return format_series(
+            "Fig. 7 — synthesis time vs Ethernet switches (45 messages)",
+            {"time (s)": [(float(n), t) for n, t, s in self.times if s == "sat"]},
+            "switches", "time (s)",
+        )
+
+
+def run_fig7(
+    switch_counts: Sequence[int] = (10, 15, 20, 25, 30, 35, 40, 45),
+    n_messages: int = 45,
+    n_apps: int = 10,
+    routes: int = 3,
+    stages: int = 5,
+    seed0: int = 0,
+) -> Fig7Result:
+    times = []
+    for n_switches in switch_counts:
+        problem = workloads.problem_with_message_count(
+            seed0 + n_switches, n_messages, n_apps=n_apps, n_switches=n_switches
+        )
+        res = synthesize(problem, SynthesisOptions(routes=routes, stages=stages))
+        times.append((n_switches, res.synthesis_time, res.status))
+    return Fig7Result(times)
+
+
+# ---------------------------------------------------------------------------
+# Table I — the GM automotive case study
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Table1Row:
+    app: str
+    period_ms: float
+    alpha: float
+    beta_ms: float
+    max_e2e_ms: float
+    latency_ms: float
+    jitter_ms: float
+    stable: bool
+
+
+@dataclass
+class Table1Result:
+    stability_rows: List[Table1Row]
+    deadline_rows: List[Table1Row]
+    stability_time: float
+    deadline_time: float
+    stability_stable_count: int
+    deadline_stable_count: int
+    n_apps: int
+    n_messages: int
+    stability_status: str
+    deadline_status: str
+
+    def render(self) -> str:
+        def table(rows: List[Table1Row]) -> str:
+            return format_table(
+                ["app", "period(ms)", "alpha", "beta(ms)", "max e2e(ms)",
+                 "latency(ms)", "jitter(ms)", "stable"],
+                [
+                    (r.app, r.period_ms, r.alpha, r.beta_ms, r.max_e2e_ms,
+                     r.latency_ms, r.jitter_ms, r.stable)
+                    for r in rows
+                ],
+            )
+
+        parts = [
+            f"Table I — GM case study ({self.n_apps} apps, "
+            f"{self.n_messages} messages)",
+            "",
+            f"[Stability-Aware]  status={self.stability_status}  "
+            f"time={self.stability_time:.1f}s  "
+            f"stable: {self.stability_stable_count}/{self.n_apps}",
+            table(self.stability_rows),
+            "",
+            f"[Deadline]  status={self.deadline_status}  "
+            f"time={self.deadline_time:.1f}s  "
+            f"stable: {self.deadline_stable_count}/{self.n_apps}",
+            table(self.deadline_rows),
+        ]
+        return "\n".join(parts)
+
+
+def run_table1(
+    n_apps: int = 20,
+    routes: int = 3,
+    stages: int = 5,
+    show_rows: int = 5,
+) -> Table1Result:
+    """Both columns of Table I: stability-aware vs deadline synthesis."""
+    problem = workloads.gm_case_study(n_apps=n_apps)
+
+    def rows_of(result: SynthesisResult) -> Tuple[List[Table1Row], int]:
+        if not result.ok:
+            return [], 0
+        rows = []
+        stable_count = 0
+        for app in problem.apps:
+            report = result.solution.app_report(app.name)
+            seg = app.stability.segments[0]
+            if report.stable:
+                stable_count += 1
+            rows.append(
+                Table1Row(
+                    app=app.name,
+                    period_ms=float(app.period * 1000),
+                    alpha=float(seg.alpha),
+                    beta_ms=float(seg.beta * 1000),
+                    max_e2e_ms=float(report.max_e2e * 1000),
+                    latency_ms=float(report.latency * 1000),
+                    jitter_ms=float(report.jitter * 1000),
+                    stable=bool(report.stable),
+                )
+            )
+        return rows, stable_count
+
+    res_stab = synthesize(
+        problem, SynthesisOptions(mode=MODE_STABILITY, routes=routes, stages=stages)
+    )
+    if res_stab.ok:
+        assert collect_violations(res_stab.solution) == []
+    res_dead = synthesize(
+        problem, SynthesisOptions(mode=MODE_DEADLINE, routes=routes, stages=stages)
+    )
+    if res_dead.ok:
+        assert collect_violations(res_dead.solution, check_stability=False) == []
+
+    stab_rows, stab_count = rows_of(res_stab)
+    dead_rows, dead_count = rows_of(res_dead)
+    return Table1Result(
+        stability_rows=stab_rows[:show_rows],
+        deadline_rows=dead_rows[:show_rows],
+        stability_time=res_stab.synthesis_time,
+        deadline_time=res_dead.synthesis_time,
+        stability_stable_count=stab_count,
+        deadline_stable_count=dead_count,
+        n_apps=len(problem.apps),
+        n_messages=problem.num_messages,
+        stability_status=res_stab.status,
+        deadline_status=res_dead.status,
+    )

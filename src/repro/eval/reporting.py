@@ -1,0 +1,74 @@
+"""ASCII reporting of experiment results (series and tables).
+
+The paper presents scatter/line plots (Figs. 3-7) and Table I; these
+helpers print the same data as aligned text so the benchmark harness can
+regenerate every figure's content on a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Simple aligned text table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_series(
+    title: str,
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Print named (x, y) series like the paper's line plots."""
+    lines = [title, "=" * len(title)]
+    for name in series:
+        lines.append(f"\n[{name}]  ({x_label} -> {y_label})")
+        for x, y in series[name]:
+            lines.append(f"  {x:>10.3f}  {y:>12.4f}")
+    return "\n".join(lines)
+
+
+def format_scatter(
+    title: str,
+    points_by_series: Mapping[str, Sequence[Tuple[float, float]]],
+    x_label: str,
+    y_label: str,
+    bins: int = 10,
+) -> str:
+    """Summarize scatter data (like Fig. 4/6 point clouds) by x-bins."""
+    lines = [title, "=" * len(title), f"({x_label} vs {y_label}, bin means)"]
+    for name, pts in points_by_series.items():
+        if not pts:
+            lines.append(f"\n[{name}]  (no data)")
+            continue
+        xs = [p[0] for p in pts]
+        lo, hi = min(xs), max(xs)
+        width = (hi - lo) / bins if hi > lo else 1.0
+        lines.append(f"\n[{name}]")
+        for b in range(bins):
+            x0, x1 = lo + b * width, lo + (b + 1) * width
+            members = [
+                y for x, y in pts if x0 <= x < x1 or (b == bins - 1 and x == x1)
+            ]
+            if members:
+                lines.append(
+                    f"  {x_label} in [{x0:7.1f},{x1:7.1f}):"
+                    f"  n={len(members):3d}  mean {y_label}="
+                    f"{sum(members) / len(members):10.4f}"
+                )
+    return "\n".join(lines)

@@ -1,0 +1,231 @@
+"""Workload generation for the paper's experiments (Sec. VI).
+
+* Random problems: a 35-node network (15 Erdős–Rényi switches, 10 sensors,
+  10 controllers) with 10 control applications drawn from the plant
+  database, periods from the paper's {20, 40, 50} ms set (hyper-period
+  200 ms, so problems carry 40..100 messages — the x-axis of Figs. 4/6).
+* The General Motors case study (Table I): the 8-switch Fig. 1 topology
+  with 20 applications and exactly 106 messages per 200 ms hyper-period,
+  using the published (period, alpha, beta) rows verbatim.
+
+Stability specs for generated apps come from the *real* analysis pipeline
+(LQG design -> jitter-margin curve -> piecewise bound), cached per
+(plant, period) pair since the curve computation is the expensive step.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..control.plants import PLANT_FACTORIES, PlantSpec, paper_controller
+from ..core.problem import ControlApplication, SynthesisProblem
+from ..network.graph import Network
+from ..network.timing import DelayModel, microseconds
+from ..network.topology import attach_endpoints, erdos_renyi_topology, gm_topology
+from ..stability.curve import compute_stability_curve
+from ..stability.jitter_margin import JitterMarginOptions
+from ..stability.piecewise import StabilitySpec, fit_lower_bound
+
+#: The paper's period set for the evaluation (ms -> Fraction seconds).
+PAPER_PERIODS = (Fraction(20, 1000), Fraction(40, 1000), Fraction(50, 1000))
+
+#: Plant assigned to each period in random workloads: the period must be a
+#: sensible sampling rate for the plant's dynamics.
+PERIOD_PLANTS: Dict[Fraction, str] = {
+    Fraction(20, 1000): "inverted_pendulum",
+    Fraction(40, 1000): "ball_and_beam",
+    Fraction(50, 1000): "harmonic_oscillator",
+}
+
+#: Fast 100 Mbit/s links for the random experiments: ld = 120 us, so tens
+#: of messages fit each 200 ms hyper-period with room for contention.
+FAST_DELAYS = DelayModel(sd=microseconds(5), ld=Fraction(120, 1_000_000))
+
+_SPEC_CACHE: Dict[Tuple[str, Fraction], StabilitySpec] = {}
+
+
+def stability_spec_for(
+    plant_name: str,
+    period: Fraction,
+    n_segments: int = 3,
+    coarse: bool = True,
+) -> StabilitySpec:
+    """The (alpha, beta, L) bound for a plant sampled at ``period``.
+
+    Runs the full analysis pipeline (LQG design, jitter-margin curve,
+    verified piecewise fit) once per (plant, period) and caches the
+    result.  ``coarse`` uses a lighter frequency grid — the specs feed
+    synthesis *constraints*, where conservative values are fine.
+    """
+    key = (plant_name, period)
+    spec = _SPEC_CACHE.get(key)
+    if spec is None:
+        plant = PLANT_FACTORIES[plant_name]()
+        h = float(period)
+        ctrl = paper_controller(plant, h)
+        options = (
+            JitterMarginOptions(n_grid=800, refine_rounds=2) if coarse else None
+        )
+        curve = compute_stability_curve(
+            plant.system, h, ctrl, n_points=9, options=options
+        )
+        spec = fit_lower_bound(curve, n_segments)
+        _SPEC_CACHE[key] = spec
+    return spec
+
+
+def experiment_network(seed: int, n_switches: int = 15,
+                       n_sensors: int = 10, n_controllers: int = 10,
+                       p: float = 0.3) -> Network:
+    """The 35-node network of the paper's first two experiments."""
+    rng = random.Random(seed)
+    net = erdos_renyi_topology(n_switches, p, rng)
+    return attach_endpoints(net, n_sensors, n_controllers, rng)
+
+
+def random_apps(
+    rng: random.Random,
+    n_apps: int,
+    sensors: Sequence[str],
+    controllers: Sequence[str],
+    periods: Sequence[Fraction] = PAPER_PERIODS,
+) -> List[ControlApplication]:
+    """Draw ``n_apps`` applications with plant-matched periods and specs."""
+    apps = []
+    for i in range(n_apps):
+        period = rng.choice(list(periods))
+        plant_name = PERIOD_PLANTS.get(period, "ball_and_beam")
+        spec = stability_spec_for(plant_name, period)
+        apps.append(
+            ControlApplication(
+                name=f"app{i}",
+                sensor=sensors[i % len(sensors)],
+                controller=controllers[i % len(controllers)],
+                period=period,
+                stability=spec,
+            )
+        )
+    return apps
+
+
+def random_problem(
+    seed: int,
+    n_apps: int = 10,
+    n_switches: int = 15,
+    delays: DelayModel = FAST_DELAYS,
+    periods: Sequence[Fraction] = PAPER_PERIODS,
+) -> SynthesisProblem:
+    """One of the paper's random 35-node synthesis problems."""
+    rng = random.Random(seed)
+    net = experiment_network(seed, n_switches=n_switches,
+                             n_sensors=max(n_apps, 1),
+                             n_controllers=max(n_apps, 1))
+    apps = random_apps(rng, n_apps, sorted(net.sensors), sorted(net.controllers),
+                       periods)
+    return SynthesisProblem(net, apps, delays)
+
+
+def fixed_message_count_periods(n_apps: int, n_messages: int) -> List[Fraction]:
+    """Period multiset over {20, 40, 50} ms yielding ``n_messages`` per
+    200 ms hyper-period: solves 10a + 5b + 4c = n_messages, a+b+c = n_apps.
+    """
+    for a in range(n_apps + 1):
+        for b in range(n_apps - a + 1):
+            c = n_apps - a - b
+            if 10 * a + 5 * b + 4 * c == n_messages:
+                return (
+                    [Fraction(20, 1000)] * a
+                    + [Fraction(40, 1000)] * b
+                    + [Fraction(50, 1000)] * c
+                )
+    raise ValueError(
+        f"no {{20,40,50}} ms period mix gives {n_messages} messages "
+        f"for {n_apps} apps"
+    )
+
+
+def problem_with_message_count(
+    seed: int,
+    n_messages: int,
+    n_apps: int = 10,
+    n_switches: int = 15,
+    delays: DelayModel = FAST_DELAYS,
+) -> SynthesisProblem:
+    """A random problem with an exact message count (Fig. 7 uses 45)."""
+    rng = random.Random(seed)
+    periods = fixed_message_count_periods(n_apps, n_messages)
+    rng.shuffle(periods)
+    net = experiment_network(seed, n_switches=n_switches,
+                             n_sensors=n_apps, n_controllers=n_apps)
+    sensors, controllers = sorted(net.sensors), sorted(net.controllers)
+    apps = []
+    for i, period in enumerate(periods):
+        plant_name = PERIOD_PLANTS[period]
+        apps.append(
+            ControlApplication(
+                name=f"app{i}",
+                sensor=sensors[i % len(sensors)],
+                controller=controllers[i % len(controllers)],
+                period=period,
+                stability=stability_spec_for(plant_name, period),
+            )
+        )
+    return SynthesisProblem(net, apps, delays)
+
+
+# ---------------------------------------------------------------------------
+# The General Motors case study (Table I)
+# ---------------------------------------------------------------------------
+
+#: The five published rows of Table I: (period ms, alpha, beta ms).
+TABLE1_ROWS: Tuple[Tuple[int, str, str], ...] = (
+    (20, "1.53", "27.78"),
+    (40, "2.27", "15.70"),
+    (50, "1.07", "80.71"),
+    (40, "2.27", "15.70"),
+    (50, "1.07", "80.71"),
+)
+
+#: Stability parameters per period for the remaining 15 GM applications
+#: (the paper publishes one (alpha, beta) pair per period class).
+_GM_BY_PERIOD = {20: ("1.53", "27.78"), 40: ("2.27", "15.70"),
+                 50: ("1.07", "80.71")}
+
+#: Period mix (a, b, c) = #apps at (20, 40, 50) ms: the unique-ish mix with
+#: 3*10 + 8*5 + 9*4 = 106 messages whose first five entries can match the
+#: published rows (see tests/network/test_frames.py).
+GM_PERIOD_MIX = (3, 8, 9)
+
+
+def gm_case_study(
+    n_apps: int = 20,
+    delays: Optional[DelayModel] = None,
+) -> SynthesisProblem:
+    """The Table I problem: 20 apps, Fig. 1 topology, 106 messages.
+
+    ``n_apps < 20`` scales the case study down (keeping the Table I rows
+    first) for quick runs; the message mix stays proportional.
+    """
+    delays = delays or DelayModel.table1()
+    periods_ms: List[int] = [p for p, _, _ in TABLE1_ROWS]
+    a, b, c = GM_PERIOD_MIX
+    remaining = [20] * (a - 1) + [40] * (b - 2) + [50] * (c - 2)
+    periods_ms.extend(remaining)
+    periods_ms = periods_ms[:n_apps]
+    net = gm_topology(len(periods_ms), len(periods_ms))
+    apps = []
+    for i, period_ms in enumerate(periods_ms):
+        alpha, beta_ms = _GM_BY_PERIOD[period_ms]
+        spec = StabilitySpec.single_line(alpha, str(Fraction(beta_ms) / 1000))
+        apps.append(
+            ControlApplication(
+                name=f"gm{i}",
+                sensor=f"S{i}",
+                controller=f"C{i}",
+                period=Fraction(period_ms, 1000),
+                stability=spec,
+            )
+        )
+    return SynthesisProblem(net, apps, delays)

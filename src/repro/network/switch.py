@@ -1,0 +1,165 @@
+"""Behavioural model of an IEEE 802.1Qbv TSN switch (paper Sec. II-A, Fig. 2).
+
+Each switch holds the two per-message variables the synthesizer produces:
+
+* ``eta[uid]``   — output port (the forwarding look-up table), and
+* ``gamma[uid]`` — release time at this switch (the gate schedule),
+
+plus the egress machinery those variables drive: per-port priority queues
+with timed gates.  The discrete-event simulator (:mod:`repro.sim`) runs
+frames through this model to validate synthesized schedules; the
+:meth:`TsnSwitch.build_gcl` method exports the standard cyclic gate
+control list a real 802.1Qbv switch would be programmed with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+NUM_QUEUES = 8
+#: Queue index used for scheduled (time-triggered) traffic.  The paper
+#: dedicates the highest-priority queues to scheduled traffic; we place all
+#: synthesized flows in queue 7 (highest) and leave 0-6 for lower classes.
+TT_QUEUE = 7
+
+
+@dataclass(frozen=True)
+class GclEntry:
+    """One window of a cyclic gate control list.
+
+    The TT gate of ``port`` opens at ``start`` and closes at ``end``
+    (both relative to the hyper-period cycle start) to transmit ``uid``.
+    """
+
+    start: Fraction
+    end: Fraction
+    queue: int
+    uid: str
+
+
+class EgressPort:
+    """An egress port: 8 strict-priority queues behind timed gates."""
+
+    def __init__(self, name: str, peer: str):
+        self.name = name
+        self.peer = peer
+        self.queues: List[List[Tuple[Fraction, str]]] = [
+            [] for _ in range(NUM_QUEUES)
+        ]
+
+    def enqueue(self, uid: str, time: Fraction, queue: int = TT_QUEUE) -> None:
+        if not 0 <= queue < NUM_QUEUES:
+            raise SimulationError(f"queue index {queue} out of range")
+        self.queues[queue].append((time, uid))
+
+    def queued(self, queue: int = TT_QUEUE) -> List[Tuple[Fraction, str]]:
+        return list(self.queues[queue])
+
+    def dequeue(self, uid: str, queue: int = TT_QUEUE) -> None:
+        q = self.queues[queue]
+        for i, (_, queued_uid) in enumerate(q):
+            if queued_uid == uid:
+                del q[i]
+                return
+        raise SimulationError(f"{uid} not queued on port {self.name}->{self.peer}")
+
+
+class TsnSwitch:
+    """A TSN switch with synthesized forwarding and release tables."""
+
+    def __init__(self, name: str, neighbors: List[str], forwarding_delay: Fraction):
+        self.name = name
+        self.sd = forwarding_delay
+        self.ports: Dict[str, EgressPort] = {
+            peer: EgressPort(f"{name}:{peer}", peer) for peer in neighbors
+        }
+        # Synthesized tables: message uid -> output port peer / release time.
+        self.eta: Dict[str, str] = {}
+        self.gamma: Dict[str, Fraction] = {}
+
+    # ------------------------------------------------------------------
+    # Table programming (done by Solution.program_switches)
+    # ------------------------------------------------------------------
+
+    def program(self, uid: str, out_peer: str, release: Fraction) -> None:
+        if out_peer not in self.ports:
+            raise SimulationError(
+                f"switch {self.name}: no port toward {out_peer!r} for {uid}"
+            )
+        self.eta[uid] = out_peer
+        self.gamma[uid] = release
+
+    # ------------------------------------------------------------------
+    # Behaviour (driven by the discrete-event simulator)
+    # ------------------------------------------------------------------
+
+    def receive(self, uid: str, arrival: Fraction) -> Tuple[str, Fraction]:
+        """Forwarding engine: look up the egress port, enqueue after ``sd``.
+
+        Returns ``(out_peer, enqueue_time)``.
+        """
+        out_peer = self.eta.get(uid)
+        if out_peer is None:
+            raise SimulationError(f"switch {self.name}: no forwarding entry for {uid}")
+        enqueue_time = arrival + self.sd
+        self.ports[out_peer].enqueue(uid, enqueue_time)
+        return out_peer, enqueue_time
+
+    def gate_open_time(self, uid: str) -> Fraction:
+        release = self.gamma.get(uid)
+        if release is None:
+            raise SimulationError(f"switch {self.name}: no release entry for {uid}")
+        return release
+
+    def transmit(self, uid: str, now: Fraction) -> str:
+        """Open the timed gate for ``uid``: dequeue it for transmission.
+
+        Raises if the frame has not arrived in the queue yet — i.e. the
+        schedule would transmit a frame the switch does not hold, which is
+        exactly the class of bug the simulator exists to catch.
+        """
+        out_peer = self.eta[uid]
+        port = self.ports[out_peer]
+        for time, queued_uid in port.queued():
+            if queued_uid == uid:
+                if time > now:
+                    raise SimulationError(
+                        f"switch {self.name}: gate for {uid} opened at {now} "
+                        f"but the frame enqueues only at {time}"
+                    )
+                port.dequeue(uid)
+                return out_peer
+        raise SimulationError(
+            f"switch {self.name}: gate for {uid} opened at {now} but the "
+            "frame is not in the egress queue"
+        )
+
+    # ------------------------------------------------------------------
+    # GCL export
+    # ------------------------------------------------------------------
+
+    def build_gcl(self, ld: Fraction, hp: Fraction) -> Dict[str, List[GclEntry]]:
+        """Cyclic 802.1Qbv gate control list per egress port.
+
+        Each scheduled message contributes one TT-queue window
+        ``[gamma, gamma + ld)``; windows are cyclic modulo the
+        hyper-period ``hp``.  Raises on overlapping windows, which would
+        mean the schedule is not contention-free.
+        """
+        out: Dict[str, List[GclEntry]] = {peer: [] for peer in self.ports}
+        for uid, peer in self.eta.items():
+            start = self.gamma[uid] % hp
+            out[peer].append(GclEntry(start, start + ld, TT_QUEUE, uid))
+        for peer, entries in out.items():
+            entries.sort(key=lambda e: e.start)
+            for prev, cur in zip(entries, entries[1:]):
+                if cur.start < prev.end:
+                    raise SimulationError(
+                        f"switch {self.name} port ->{peer}: overlapping gate "
+                        f"windows for {prev.uid} and {cur.uid}"
+                    )
+        return out

@@ -1,0 +1,39 @@
+"""From-scratch CDCL SAT solver (propositional core of the SMT substrate).
+
+See DESIGN.md S1: this package replaces the propositional engine of Z3 used
+by the paper.  :class:`~repro.sat.solver.SatSolver` exposes a theory hook
+that :mod:`repro.smt` uses to implement DPLL(T).
+"""
+
+from .dimacs import DimacsSolver, load_dimacs, parse_dimacs, write_dimacs
+from .literals import (
+    FALSE,
+    TRUE,
+    UNASSIGNED,
+    from_dimacs,
+    is_positive,
+    lit,
+    neg,
+    to_dimacs,
+    var_of,
+)
+from .solver import SatSolver, TheoryBackend, luby
+
+__all__ = [
+    "DimacsSolver",
+    "FALSE",
+    "SatSolver",
+    "TheoryBackend",
+    "TRUE",
+    "UNASSIGNED",
+    "from_dimacs",
+    "is_positive",
+    "lit",
+    "load_dimacs",
+    "luby",
+    "neg",
+    "parse_dimacs",
+    "to_dimacs",
+    "var_of",
+    "write_dimacs",
+]

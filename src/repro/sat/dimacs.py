@@ -1,0 +1,99 @@
+"""DIMACS CNF reading/writing and a signed-literal convenience wrapper.
+
+The synthesis pipeline talks to :class:`repro.sat.solver.SatSolver` through
+the SMT layer, but a DIMACS front-end makes the SAT core independently
+usable and testable against standard benchmark files.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, TextIO
+
+from ..errors import SolverError
+from .literals import from_dimacs
+from .solver import SatSolver
+
+
+class DimacsSolver:
+    """A :class:`SatSolver` facade that speaks signed DIMACS literals."""
+
+    def __init__(self) -> None:
+        self._solver = SatSolver()
+
+    @property
+    def solver(self) -> SatSolver:
+        return self._solver
+
+    def ensure_vars(self, max_var: int) -> None:
+        while self._solver.num_vars < max_var:
+            self._solver.new_var()
+
+    def add_clause(self, clause: Sequence[int]) -> bool:
+        """Add a clause of signed DIMACS literals, growing vars on demand."""
+        if not clause:
+            raise SolverError("empty clause; use solver state directly")
+        self.ensure_vars(max(abs(l) for l in clause))
+        return self._solver.add_clause([from_dimacs(l) for l in clause])
+
+    def solve(self, assumptions: Iterable[int] = ()) -> bool:
+        lits = [from_dimacs(l) for l in assumptions]
+        for l in lits:
+            if (l >> 1) > self._solver.num_vars:
+                raise SolverError("assumption references unknown variable")
+        return self._solver.solve(lits)
+
+    def model(self) -> List[int]:
+        """Return the model as signed DIMACS literals (sorted by variable)."""
+        out = []
+        for v in range(1, self._solver.num_vars + 1):
+            out.append(v if self._solver.model_value(v) else -v)
+        return out
+
+
+def parse_dimacs(text: str) -> tuple[int, List[List[int]]]:
+    """Parse DIMACS CNF text into ``(num_vars, clauses)``."""
+    num_vars = 0
+    clauses: List[List[int]] = []
+    current: List[int] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise SolverError(f"malformed problem line: {line!r}")
+            num_vars = int(parts[2])
+            continue
+        for tok in line.split():
+            val = int(tok)
+            if val == 0:
+                clauses.append(current)
+                current = []
+            else:
+                current.append(val)
+    if current:
+        clauses.append(current)
+    return num_vars, clauses
+
+
+def load_dimacs(text: str) -> DimacsSolver:
+    """Build a solver from DIMACS CNF text."""
+    num_vars, clauses = parse_dimacs(text)
+    solver = DimacsSolver()
+    solver.ensure_vars(num_vars)
+    for clause in clauses:
+        if not clause:
+            # Explicit empty clause: formula is UNSAT.
+            solver.solver.add_clause([])  # type: ignore[arg-type]
+        else:
+            solver.add_clause(clause)
+    return solver
+
+
+def write_dimacs(num_vars: int, clauses: Iterable[Sequence[int]], out: TextIO) -> None:
+    """Write clauses of signed DIMACS literals in DIMACS CNF format."""
+    clause_list = [list(c) for c in clauses]
+    out.write(f"p cnf {num_vars} {len(clause_list)}\n")
+    for clause in clause_list:
+        out.write(" ".join(str(l) for l in clause) + " 0\n")

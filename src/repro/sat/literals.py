@@ -1,0 +1,52 @@
+"""Variable and literal encoding for the CDCL SAT solver.
+
+Variables are positive integers ``1..n`` (DIMACS convention).  Internally the
+solver works with *literals* encoded as non-negative integers::
+
+    lit(v, positive)  = 2*v     if positive
+                      = 2*v + 1 if negated
+
+which makes negation a single XOR and allows literal-indexed arrays (watch
+lists, assignment values) without hashing.
+"""
+
+from __future__ import annotations
+
+UNASSIGNED = -1
+TRUE = 1
+FALSE = 0
+
+
+def lit(var: int, positive: bool = True) -> int:
+    """Encode DIMACS variable ``var`` (>= 1) as an internal literal."""
+    if var < 1:
+        raise ValueError(f"variable index must be >= 1, got {var}")
+    return 2 * var if positive else 2 * var + 1
+
+
+def neg(literal: int) -> int:
+    """Negate an internal literal."""
+    return literal ^ 1
+
+
+def var_of(literal: int) -> int:
+    """Return the DIMACS variable (>= 1) of an internal literal."""
+    return literal >> 1
+
+
+def is_positive(literal: int) -> bool:
+    """True if the literal is the positive phase of its variable."""
+    return (literal & 1) == 0
+
+
+def from_dimacs(dimacs_lit: int) -> int:
+    """Convert a signed DIMACS literal (e.g. ``-3``) to internal encoding."""
+    if dimacs_lit == 0:
+        raise ValueError("0 is not a valid DIMACS literal")
+    return lit(abs(dimacs_lit), dimacs_lit > 0)
+
+
+def to_dimacs(literal: int) -> int:
+    """Convert an internal literal back to signed DIMACS form."""
+    v = var_of(literal)
+    return v if is_positive(literal) else -v

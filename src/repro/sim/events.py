@@ -1,0 +1,57 @@
+"""A minimal discrete-event engine with exact rational timestamps."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any, Callable, Optional
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """An event ordered by (time, priority, sequence number)."""
+
+    time: Fraction
+    priority: int
+    seq: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """Time-ordered event queue; monotonicity is enforced on pop."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._now: Optional[Fraction] = None
+
+    def push(self, time: Fraction, kind: str, payload: Any = None,
+             priority: int = 0) -> None:
+        if self._now is not None and time < self._now:
+            raise SimulationError(
+                f"cannot schedule {kind!r} at {time} before current time {self._now}"
+            )
+        heapq.heappush(self._heap, Event(time, priority, next(self._seq),
+                                         kind, payload))
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        event = heapq.heappop(self._heap)
+        self._now = event.time
+        return event
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    @property
+    def now(self) -> Optional[Fraction]:
+        return self._now

@@ -1,0 +1,70 @@
+"""From-scratch SMT solver for QF_LRA (DESIGN.md S1).
+
+A z3py-flavoured API (``Real``, ``Bool``, ``And``/``Or``/``Not``,
+``Solver``) over a DPLL(T) engine: CDCL SAT core (:mod:`repro.sat`), an
+eager incremental difference-logic theory, and an exact rational simplex
+(Dutertre & de Moura) for general linear atoms and model certification.
+"""
+
+from .difflogic import DifferenceLogic
+from .rationals import DeltaRational, materialize_delta
+from .simplex import Simplex
+from .optimize import OptimizeResult, minimize
+from .solver import CheckResult, Model, Solver, sat, unknown, unsat
+from .terms import (
+    And,
+    Atom,
+    Bool,
+    BoolExpr,
+    BoolVal,
+    BoolVar,
+    ExactlyOne,
+    FALSE_EXPR,
+    Iff,
+    Implies,
+    Ite,
+    LinExpr,
+    Not,
+    Or,
+    Real,
+    RealVal,
+    RealVar,
+    Sum,
+    TRUE_EXPR,
+)
+from .theory import LraTheory
+
+__all__ = [
+    "And",
+    "Atom",
+    "Bool",
+    "BoolExpr",
+    "BoolVal",
+    "BoolVar",
+    "CheckResult",
+    "DeltaRational",
+    "DifferenceLogic",
+    "ExactlyOne",
+    "FALSE_EXPR",
+    "Iff",
+    "Implies",
+    "Ite",
+    "LinExpr",
+    "LraTheory",
+    "Model",
+    "Not",
+    "OptimizeResult",
+    "Or",
+    "Real",
+    "RealVal",
+    "RealVar",
+    "Simplex",
+    "Solver",
+    "Sum",
+    "TRUE_EXPR",
+    "materialize_delta",
+    "minimize",
+    "sat",
+    "unknown",
+    "unsat",
+]

@@ -1,0 +1,127 @@
+"""Tseitin CNF conversion from the term language to the SAT core.
+
+Each distinct subformula gets one SAT variable; linear atoms are
+deduplicated by canonical key and registered with the theory backend so
+both phases of their SAT variable drive theory assertions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..errors import SolverError
+from ..sat.literals import lit, neg
+from ..sat.solver import SatSolver
+from .terms import (
+    AndExpr,
+    Atom,
+    BoolConst,
+    BoolExpr,
+    BoolVar,
+    NotExpr,
+    OrExpr,
+)
+from .theory import LraTheory
+
+
+class CnfConverter:
+    """Converts Boolean formulas to clauses inside a :class:`SatSolver`."""
+
+    def __init__(self, sat: SatSolver, theory: LraTheory):
+        self._sat = sat
+        self._theory = theory
+        self._bool_vars: Dict[BoolVar, int] = {}
+        self._atom_vars: Dict[Tuple, int] = {}
+        self._node_cache: Dict[int, int] = {}
+        self._true_lit: int | None = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def bool_vars(self) -> Dict[BoolVar, int]:
+        return self._bool_vars
+
+    def assert_formula(self, expr: BoolExpr) -> None:
+        """Assert ``expr`` at the root level."""
+        if isinstance(expr, BoolConst):
+            if not expr.value:
+                # Assert false: add an empty clause via two contradicting units.
+                v = self._sat.new_var()
+                self._sat.add_clause([lit(v)])
+                self._sat.add_clause([lit(v, False)])
+            return
+        if isinstance(expr, AndExpr):
+            # Top-level conjunctions do not need Tseitin variables.
+            for arg in expr.args:
+                self.assert_formula(arg)
+            return
+        if isinstance(expr, OrExpr):
+            # Top-level disjunction: one clause over the children literals.
+            self._sat.add_clause([self.literal_for(a) for a in expr.args])
+            return
+        self._sat.add_clause([self.literal_for(expr)])
+
+    # ------------------------------------------------------------------
+
+    def literal_for(self, expr: BoolExpr) -> int:
+        """Return a SAT literal equisatisfiably representing ``expr``."""
+        if isinstance(expr, BoolConst):
+            return self._const_literal(expr.value)
+        if isinstance(expr, BoolVar):
+            return lit(self._var_for_bool(expr))
+        if isinstance(expr, Atom):
+            return lit(self._var_for_atom(expr))
+        if isinstance(expr, NotExpr):
+            return neg(self.literal_for(expr.arg))
+        cached = self._node_cache.get(id(expr))
+        if cached is not None:
+            return cached
+        if isinstance(expr, AndExpr):
+            out = self._tseitin_and([self.literal_for(a) for a in expr.args])
+        elif isinstance(expr, OrExpr):
+            out = self._tseitin_or([self.literal_for(a) for a in expr.args])
+        else:
+            raise SolverError(f"unsupported formula node: {expr!r}")
+        self._node_cache[id(expr)] = out
+        return out
+
+    # ------------------------------------------------------------------
+
+    def _const_literal(self, value: bool) -> int:
+        if self._true_lit is None:
+            v = self._sat.new_var()
+            self._true_lit = lit(v)
+            self._sat.add_clause([self._true_lit])
+        return self._true_lit if value else neg(self._true_lit)
+
+    def _var_for_bool(self, var: BoolVar) -> int:
+        v = self._bool_vars.get(var)
+        if v is None:
+            v = self._sat.new_var()
+            self._bool_vars[var] = v
+        return v
+
+    def _var_for_atom(self, atom: Atom) -> int:
+        key = atom.key
+        v = self._atom_vars.get(key)
+        if v is None:
+            v = self._sat.new_var()
+            self._atom_vars[key] = v
+            self._theory.register_atom(atom, v)
+        return v
+
+    def _tseitin_and(self, lits: list[int]) -> int:
+        v = self._sat.new_var()
+        p = lit(v)
+        for l in lits:
+            self._sat.add_clause([neg(p), l])
+        self._sat.add_clause([p] + [neg(l) for l in lits])
+        return p
+
+    def _tseitin_or(self, lits: list[int]) -> int:
+        v = self._sat.new_var()
+        p = lit(v)
+        self._sat.add_clause([neg(p)] + lits)
+        for l in lits:
+            self._sat.add_clause([p, neg(l)])
+        return p

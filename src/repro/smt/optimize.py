@@ -1,0 +1,106 @@
+"""Optimization on top of the SMT solver: minimize a linear objective.
+
+The DPLL(T) solver decides satisfiability; this layer adds linear-
+objective minimization by exact rational binary search over fresh solver
+instances (each probe asserts ``objective <= mid``).  Termination uses
+both an absolute tolerance and a probe budget; the result is a certified
+interval ``[lo, hi]``: ``objective <= hi`` is satisfiable (with model),
+``objective < lo`` is not (up to the returned precision).
+
+Used by :func:`repro.core.refine.minimize_jitter` to post-optimize the
+control quality of synthesized schedules — the natural "quality knob" the
+paper leaves as a constraint-only formulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, List, Optional, Sequence
+
+from ..errors import SolverError
+from .solver import Model, Solver, sat
+from .terms import BoolExpr, LinExpr
+
+
+@dataclass
+class OptimizeResult:
+    """Outcome of a minimization run."""
+
+    status: str                   # "optimal", "sat" (budget hit), "unsat"
+    objective_bound: Optional[Fraction]   # best satisfiable objective value
+    model: Optional[Model]
+    probes: int
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("optimal", "sat")
+
+
+def _check_with_bound(
+    assertions: Sequence[BoolExpr],
+    objective: LinExpr,
+    bound: Optional[Fraction],
+) -> Optional[Model]:
+    solver = Solver()
+    solver.add(list(assertions))
+    if bound is not None:
+        solver.add(objective <= bound)
+    if solver.check() == sat:
+        return solver.model()
+    return None
+
+
+def minimize(
+    assertions: Sequence[BoolExpr],
+    objective: LinExpr,
+    lower_bound: Fraction | int = 0,
+    tolerance: Fraction | int | None = None,
+    max_probes: int = 32,
+) -> OptimizeResult:
+    """Minimize ``objective`` subject to ``assertions``.
+
+    Args:
+        assertions: the constraint set (re-asserted per probe).
+        objective: linear expression to minimize.
+        lower_bound: a known valid lower bound on the objective
+            (0 for delays/jitters).
+        tolerance: stop when the bracket is at most this wide
+            (default: 1/1000 of the initial objective value, floor 1e-9).
+        max_probes: hard budget on solver invocations.
+
+    Returns an :class:`OptimizeResult`; ``status="optimal"`` means the
+    bracket shrank below the tolerance.
+    """
+    lower = Fraction(lower_bound)
+    model = _check_with_bound(assertions, objective, None)
+    if model is None:
+        return OptimizeResult("unsat", None, None, probes=1)
+    best_value = model[objective]
+    best_model = model
+    probes = 1
+    if best_value <= lower:
+        return OptimizeResult("optimal", best_value, best_model, probes)
+    if tolerance is None:
+        tolerance = max(abs(best_value) / 1000, Fraction(1, 10**9))
+    else:
+        tolerance = Fraction(tolerance)
+        if tolerance <= 0:
+            raise SolverError("tolerance must be positive")
+
+    hi = best_value
+    lo = lower
+    while hi - lo > tolerance and probes < max_probes:
+        mid = (hi + lo) / 2
+        model = _check_with_bound(assertions, objective, mid)
+        probes += 1
+        if model is not None:
+            # The model may beat the probe bound; use the tighter value.
+            value = model[objective]
+            best_model = model
+            best_value = value
+            hi = value
+        else:
+            lo = mid
+    status = "optimal" if hi - lo <= tolerance else "sat"
+    return OptimizeResult(status, best_value, best_model, probes)

@@ -1,0 +1,134 @@
+"""Exact numbers for linear real arithmetic with strict inequalities.
+
+A :class:`DeltaRational` is a pair ``a + b*delta`` where ``delta`` is a
+positive infinitesimal.  Strict bounds like ``x > 3`` are represented as the
+non-strict bound ``x >= 3 + delta``; at model-extraction time ``delta`` is
+materialized as a concrete small positive rational (see
+:func:`materialize_delta`).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Union
+
+Number = Union[int, Fraction]
+
+
+class DeltaRational:
+    """An element of Q + Q*delta with exact arithmetic and total order."""
+
+    __slots__ = ("real", "delta")
+
+    def __init__(self, real: Number = 0, delta: Number = 0):
+        # Avoid re-wrapping Fractions: this constructor is on the solver's
+        # hottest path (millions of calls in one synthesis run).
+        self.real = real if type(real) is Fraction else Fraction(real)
+        self.delta = delta if type(delta) is Fraction else Fraction(delta)
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other: "DeltaRational | Number") -> "DeltaRational":
+        if type(other) is not DeltaRational:
+            other = _coerce(other)
+        return DeltaRational(self.real + other.real, self.delta + other.delta)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "DeltaRational | Number") -> "DeltaRational":
+        if type(other) is not DeltaRational:
+            other = _coerce(other)
+        return DeltaRational(self.real - other.real, self.delta - other.delta)
+
+    def __rsub__(self, other: "DeltaRational | Number") -> "DeltaRational":
+        return _coerce(other) - self
+
+    def __neg__(self) -> "DeltaRational":
+        return DeltaRational(-self.real, -self.delta)
+
+    def __mul__(self, k: Number) -> "DeltaRational":
+        k = Fraction(k)
+        return DeltaRational(self.real * k, self.delta * k)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, k: Number) -> "DeltaRational":
+        k = Fraction(k)
+        return DeltaRational(self.real / k, self.delta / k)
+
+    # -- comparisons ---------------------------------------------------------
+
+    def _cmp(self, other: "DeltaRational | Number") -> int:
+        if type(other) is not DeltaRational:
+            other = _coerce(other)
+        # Cross-multiplied integer comparison: Fraction's own comparison
+        # operators pay for numbers-ABC isinstance checks on every call,
+        # which dominates solver profiles.
+        a, b = self.real, other.real
+        lhs = a.numerator * b.denominator
+        rhs = b.numerator * a.denominator
+        if lhs != rhs:
+            return -1 if lhs < rhs else 1
+        a, b = self.delta, other.delta
+        lhs = a.numerator * b.denominator
+        rhs = b.numerator * a.denominator
+        if lhs != rhs:
+            return -1 if lhs < rhs else 1
+        return 0
+
+    def __lt__(self, other) -> bool:
+        return self._cmp(other) < 0
+
+    def __le__(self, other) -> bool:
+        return self._cmp(other) <= 0
+
+    def __gt__(self, other) -> bool:
+        return self._cmp(other) > 0
+
+    def __ge__(self, other) -> bool:
+        return self._cmp(other) >= 0
+
+    def __eq__(self, other) -> bool:  # type: ignore[override]
+        if not isinstance(other, (DeltaRational, int, Fraction)):
+            return NotImplemented
+        return self._cmp(other) == 0
+
+    def __hash__(self) -> int:
+        return hash((self.real, self.delta))
+
+    def __repr__(self) -> str:
+        if self.delta == 0:
+            return f"{self.real}"
+        sign = "+" if self.delta > 0 else "-"
+        return f"{self.real} {sign} {abs(self.delta)}d"
+
+
+def _coerce(value: "DeltaRational | Number") -> DeltaRational:
+    if isinstance(value, DeltaRational):
+        return value
+    return DeltaRational(value)
+
+
+ZERO = DeltaRational(0)
+
+
+def materialize_delta(pairs: Iterable[tuple[DeltaRational, DeltaRational]]) -> Fraction:
+    """Choose a concrete positive value for ``delta``.
+
+    ``pairs`` iterates over ordered pairs ``(lo, hi)`` with ``lo <= hi`` in
+    the delta-rational order; the returned epsilon keeps
+    ``lo.real + lo.delta*eps <= hi.real + hi.delta*eps`` for every pair.
+    """
+    eps = Fraction(1)
+    for lo, hi in pairs:
+        dreal = hi.real - lo.real
+        ddelta = lo.delta - hi.delta
+        # Need dreal >= ddelta * eps; only binding when ddelta > 0.
+        if ddelta > 0:
+            limit = dreal / ddelta
+            if limit <= 0:
+                raise ValueError("inconsistent delta-rational ordering")
+            eps = min(eps, limit / 2 if dreal > 0 else limit)
+    if eps <= 0:
+        raise ValueError("no feasible delta materialization")
+    return eps

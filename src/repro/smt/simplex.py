@@ -1,0 +1,359 @@
+"""General simplex for linear real arithmetic (Dutertre & de Moura, 2006).
+
+This is the *certifying* theory engine of the SMT substrate: it decides
+conjunctions of bounds over variables related by linear rows, with exact
+``Fraction`` arithmetic and :class:`~repro.smt.rationals.DeltaRational`
+bounds for strict inequalities.  The difference-logic engine
+(:mod:`repro.smt.difflogic`) catches most scheduling conflicts eagerly; the
+simplex handles the paper's non-unit-coefficient *stability* atoms
+(``(1-a)*Lmin + a*Lmax <= b``) and certifies full assignments.
+
+The solver state is backtrackable via a bound trail (:meth:`mark` /
+:meth:`undo_to`); the tableau itself is never undone because pivoting is an
+equivalence transformation and rows are definitional.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SolverError
+from .rationals import DeltaRational, materialize_delta
+
+NO_LIT = -1
+
+
+class Simplex:
+    """Incremental simplex over ``Q + Q*delta`` with conflict explanations."""
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._lower: List[Optional[DeltaRational]] = []
+        self._upper: List[Optional[DeltaRational]] = []
+        self._lower_lit: List[int] = []
+        self._upper_lit: List[int] = []
+        self._beta: List[DeltaRational] = []
+        self._is_basic: List[bool] = []
+        # For basic variables: row mapping nonbasic var -> coefficient.
+        self._rows: Dict[int, Dict[int, Fraction]] = {}
+        # For nonbasic variables: set of basic variables whose row uses them.
+        self._cols: Dict[int, set] = {}
+        # Bound-change trail: (var, is_lower, old_bound, old_lit)
+        self._trail: List[Tuple[int, bool, Optional[DeltaRational], int]] = []
+        # Nonbasic variables whose beta may violate a freshly tightened
+        # bound; repaired lazily at the start of check().
+        self._dirty: set = set()
+        # Basic variables whose beta or bounds changed since the last
+        # check(): the only candidates for bound violations (avoids a full
+        # O(n) scan per pivot iteration).  Invariant: every violating
+        # basic variable is in this set.
+        self._suspects: set = set()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def new_var(self) -> int:
+        """Allocate a fresh structural (nonbasic) variable."""
+        idx = self._n
+        self._n += 1
+        self._lower.append(None)
+        self._upper.append(None)
+        self._lower_lit.append(NO_LIT)
+        self._upper_lit.append(NO_LIT)
+        self._beta.append(DeltaRational(0))
+        self._is_basic.append(False)
+        self._cols[idx] = set()
+        return idx
+
+    def add_row(self, coeffs: Dict[int, Fraction]) -> int:
+        """Introduce a slack variable ``s = sum(coeffs)`` and return it.
+
+        Any *basic* variable appearing in ``coeffs`` is substituted by its
+        defining row so the new row mentions only nonbasic variables.
+        """
+        expanded: Dict[int, Fraction] = {}
+        for var, coeff in coeffs.items():
+            if coeff == 0:
+                continue
+            if self._is_basic[var]:
+                for v2, c2 in self._rows[var].items():
+                    expanded[v2] = expanded.get(v2, Fraction(0)) + coeff * c2
+            else:
+                expanded[var] = expanded.get(var, Fraction(0)) + coeff
+        expanded = {v: c for v, c in expanded.items() if c != 0}
+        s = self.new_var()
+        self._is_basic[s] = True
+        self._rows[s] = expanded
+        for v in expanded:
+            self._cols[v].add(s)
+        self._beta[s] = self._row_value(s)
+        return s
+
+    def _row_value(self, basic: int) -> DeltaRational:
+        total = DeltaRational(0)
+        for v, c in self._rows[basic].items():
+            total = total + self._beta[v] * c
+        return total
+
+    # ------------------------------------------------------------------
+    # Backtracking
+    # ------------------------------------------------------------------
+
+    def mark(self) -> int:
+        return len(self._trail)
+
+    def undo_to(self, mark: int) -> None:
+        while len(self._trail) > mark:
+            var, is_lower, old_bound, old_lit = self._trail.pop()
+            if is_lower:
+                self._lower[var] = old_bound
+                self._lower_lit[var] = old_lit
+            else:
+                self._upper[var] = old_bound
+                self._upper_lit[var] = old_lit
+
+    # ------------------------------------------------------------------
+    # Bound assertion
+    # ------------------------------------------------------------------
+
+    def assert_lower(self, var: int, bound: DeltaRational, lit: int) -> Optional[List[int]]:
+        """Assert ``var >= bound``; returns a conflict explanation or None."""
+        upper = self._upper[var]
+        if upper is not None and bound > upper:
+            return self._pair_conflict(lit, self._upper_lit[var])
+        current = self._lower[var]
+        self._trail.append((var, True, current, self._lower_lit[var]))
+        if current is None or bound > current:
+            self._lower[var] = bound
+            self._lower_lit[var] = lit
+            if self._is_basic[var]:
+                self._suspects.add(var)
+            elif self._beta[var] < bound:
+                self._dirty.add(var)
+        return None
+
+    def assert_upper(self, var: int, bound: DeltaRational, lit: int) -> Optional[List[int]]:
+        """Assert ``var <= bound``; returns a conflict explanation or None."""
+        lower = self._lower[var]
+        if lower is not None and bound < lower:
+            return self._pair_conflict(lit, self._lower_lit[var])
+        current = self._upper[var]
+        self._trail.append((var, False, current, self._upper_lit[var]))
+        if current is None or bound < current:
+            self._upper[var] = bound
+            self._upper_lit[var] = lit
+            if self._is_basic[var]:
+                self._suspects.add(var)
+            elif self._beta[var] > bound:
+                self._dirty.add(var)
+        return None
+
+    @staticmethod
+    def _pair_conflict(lit_a: int, lit_b: int) -> List[int]:
+        return [l for l in (lit_a, lit_b) if l != NO_LIT]
+
+    def _update(self, nonbasic: int, value: DeltaRational) -> None:
+        delta = value - self._beta[nonbasic]
+        self._beta[nonbasic] = value
+        for basic in self._cols[nonbasic]:
+            coeff = self._rows[basic][nonbasic]
+            self._beta[basic] = self._beta[basic] + delta * coeff
+            self._suspects.add(basic)
+
+    # ------------------------------------------------------------------
+    # Check (Bland's rule)
+    # ------------------------------------------------------------------
+
+    def check(self) -> Optional[List[int]]:
+        """Restore all basic variables into their bounds.
+
+        Returns None when the current bound set is satisfiable (``beta`` is
+        then a model), otherwise a conflict explanation: the list of
+        asserted-literal ids of an infeasible bound subset (Farkas row).
+
+        Bound assertions are lazy: nonbasic variables whose value drifted
+        outside their (possibly backtracked-and-retightened) bounds are
+        repaired here first, then the classic Bland pivoting runs.
+        """
+        if self._dirty:
+            for var in self._dirty:
+                if self._is_basic[var]:
+                    continue
+                lo, up = self._lower[var], self._upper[var]
+                if lo is not None and self._beta[var] < lo:
+                    self._update(var, lo)
+                elif up is not None and self._beta[var] > up:
+                    self._update(var, up)
+            self._dirty.clear()
+        while True:
+            # Bland's rule over the suspect set: the smallest-index
+            # violating basic variable (every violating basic is a
+            # suspect by the maintenance invariant).
+            violating = -1
+            below = False
+            cleared = []
+            for var in sorted(self._suspects):
+                if not self._is_basic[var]:
+                    cleared.append(var)
+                    continue
+                lo, up = self._lower[var], self._upper[var]
+                if lo is not None and self._beta[var] < lo:
+                    violating, below = var, True
+                    break
+                if up is not None and self._beta[var] > up:
+                    violating, below = var, False
+                    break
+                cleared.append(var)
+            for var in cleared:
+                self._suspects.discard(var)
+            if violating < 0:
+                return None
+            row = self._rows[violating]
+            if below:
+                target = self._lower[violating]
+                pivot_var = -1
+                for v in sorted(row):
+                    c = row[v]
+                    if c > 0 and self._can_increase(v):
+                        pivot_var = v
+                        break
+                    if c < 0 and self._can_decrease(v):
+                        pivot_var = v
+                        break
+                if pivot_var < 0:
+                    return self._explain(violating, below=True)
+            else:
+                target = self._upper[violating]
+                pivot_var = -1
+                for v in sorted(row):
+                    c = row[v]
+                    if c < 0 and self._can_increase(v):
+                        pivot_var = v
+                        break
+                    if c > 0 and self._can_decrease(v):
+                        pivot_var = v
+                        break
+                if pivot_var < 0:
+                    return self._explain(violating, below=False)
+            assert target is not None
+            self._pivot_and_update(violating, pivot_var, target)
+
+    def _can_increase(self, var: int) -> bool:
+        up = self._upper[var]
+        return up is None or self._beta[var] < up
+
+    def _can_decrease(self, var: int) -> bool:
+        lo = self._lower[var]
+        return lo is None or self._beta[var] > lo
+
+    def _explain(self, basic: int, below: bool) -> List[int]:
+        """Farkas conflict: the violated bound plus the blocking bounds."""
+        lits = []
+        if below:
+            lits.append(self._lower_lit[basic])
+            for v, c in self._rows[basic].items():
+                lits.append(self._upper_lit[v] if c > 0 else self._lower_lit[v])
+        else:
+            lits.append(self._upper_lit[basic])
+            for v, c in self._rows[basic].items():
+                lits.append(self._lower_lit[v] if c > 0 else self._upper_lit[v])
+        seen = set()
+        out = []
+        for l in lits:
+            if l != NO_LIT and l not in seen:
+                seen.add(l)
+                out.append(l)
+        return out
+
+    def _pivot_and_update(self, basic: int, nonbasic: int, value: DeltaRational) -> None:
+        """Swap ``basic``/``nonbasic`` and set the old basic var to ``value``."""
+        row = self._rows.pop(basic)
+        a = row[nonbasic]
+        # Solve the row for `nonbasic`: nonbasic = basic/a - sum(others)/a.
+        new_row: Dict[int, Fraction] = {basic: Fraction(1) / a}
+        for v, c in row.items():
+            if v != nonbasic:
+                new_row[v] = -c / a
+        # Update beta before rewiring (theta = change of nonbasic).
+        theta = (value - self._beta[basic]) / a
+        self._beta[basic] = value
+        self._beta[nonbasic] = self._beta[nonbasic] + theta
+        # Incrementally adjust every other basic row that uses `nonbasic`
+        # (cheaper than recomputing whole row values after substitution).
+        for b in self._cols[nonbasic]:
+            if b != basic:
+                self._beta[b] = self._beta[b] + theta * self._rows[b][nonbasic]
+                self._suspects.add(b)
+        # The entering variable may now violate its own bounds.
+        self._suspects.add(nonbasic)
+        # Rewire column index for the departing/incoming variables.
+        for v in row:
+            self._cols[v].discard(basic)
+        self._is_basic[basic] = False
+        self._is_basic[nonbasic] = True
+        self._cols[basic] = set()
+        self._rows[nonbasic] = new_row
+        for v in new_row:
+            self._cols[v].add(nonbasic)
+        # Substitute `nonbasic` in every other row that used it.
+        users = [b for b in self._cols.pop(nonbasic, set()) if b != nonbasic]
+        self._cols[nonbasic] = set()
+        for b in users:
+            brow = self._rows[b]
+            k = brow.pop(nonbasic)
+            for v, c in new_row.items():
+                nc = brow.get(v, Fraction(0)) + k * c
+                if nc == 0:
+                    brow.pop(v, None)
+                    self._cols[v].discard(b)
+                else:
+                    brow[v] = nc
+                    self._cols[v].add(b)
+        # `basic` is now nonbasic: it appears in rows (at least new_row).
+        self._cols[basic].add(nonbasic)
+        for b in users:
+            if basic in self._rows[b]:
+                self._cols[basic].add(b)
+
+    # ------------------------------------------------------------------
+    # Model extraction
+    # ------------------------------------------------------------------
+
+    def model(self) -> List[Fraction]:
+        """Concrete rational values for all variables (delta materialized)."""
+        pairs = []
+        for var in range(self._n):
+            lo, up = self._lower[var], self._upper[var]
+            beta = self._beta[var]
+            if lo is not None:
+                pairs.append((lo, beta))
+            if up is not None:
+                pairs.append((beta, up))
+        eps = materialize_delta(pairs)
+        return [b.real + b.delta * eps for b in self._beta]
+
+    def value(self, var: int) -> DeltaRational:
+        return self._beta[var]
+
+    # ------------------------------------------------------------------
+    # Debug helpers
+    # ------------------------------------------------------------------
+
+    def assignment_consistent(self) -> bool:
+        """Check that beta satisfies all rows (invariant; for tests)."""
+        for basic in self._rows:
+            if self._row_value(basic) != self._beta[basic]:
+                return False
+        return True
+
+    def bounds_satisfied(self) -> bool:
+        """Check that beta satisfies all bounds (true right after check())."""
+        for var in range(self._n):
+            lo, up = self._lower[var], self._upper[var]
+            if lo is not None and self._beta[var] < lo:
+                return False
+            if up is not None and self._beta[var] > up:
+                return False
+        return True

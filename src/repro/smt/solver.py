@@ -1,0 +1,153 @@
+"""The user-facing SMT solver: z3py-flavoured ``Solver`` and ``Model``.
+
+Usage::
+
+    from repro.smt import Solver, Real, Bool, Or, And, sat
+
+    x, y = Real("x"), Real("y")
+    s = Solver()
+    s.add(x - y >= 2, Or(Bool("a"), x + y <= 10))
+    if s.check() == sat:
+        m = s.model()
+        print(m[x], m[y])
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, Optional
+
+from ..errors import SolverError
+from ..sat.literals import TRUE
+from ..sat.solver import SatSolver
+from .cnf import CnfConverter
+from .terms import (
+    Atom,
+    BoolConst,
+    BoolExpr,
+    BoolVar,
+    AndExpr,
+    LinExpr,
+    NotExpr,
+    OrExpr,
+    RealVar,
+)
+from .theory import LraTheory
+
+
+class CheckResult:
+    """Tri-state result mirroring z3's ``sat``/``unsat``/``unknown``."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __bool__(self) -> bool:
+        return self.name == "sat"
+
+
+sat = CheckResult("sat")
+unsat = CheckResult("unsat")
+unknown = CheckResult("unknown")
+
+
+class Model:
+    """A satisfying assignment for Booleans and reals."""
+
+    def __init__(self, bools: Dict[BoolVar, bool], reals: Dict[RealVar, Fraction]):
+        self._bools = bools
+        self._reals = reals
+
+    def value_of(self, var: RealVar) -> Fraction:
+        return self._reals.get(var, Fraction(0))
+
+    def __getitem__(self, term):
+        if isinstance(term, LinExpr):
+            total = term.const
+            for v, c in term.coeffs.items():
+                total += c * self.value_of(v)
+            return total
+        if isinstance(term, RealVar):
+            return self.value_of(term)
+        if isinstance(term, BoolVar):
+            return self._bools.get(term, False)
+        if isinstance(term, BoolExpr):
+            return self.eval_bool(term)
+        raise SolverError(f"cannot evaluate {term!r} in a model")
+
+    def eval_bool(self, expr: BoolExpr) -> bool:
+        """Evaluate an arbitrary Boolean formula under this model."""
+        if isinstance(expr, BoolConst):
+            return expr.value
+        if isinstance(expr, BoolVar):
+            return self._bools.get(expr, False)
+        if isinstance(expr, NotExpr):
+            return not self.eval_bool(expr.arg)
+        if isinstance(expr, AndExpr):
+            return all(self.eval_bool(a) for a in expr.args)
+        if isinstance(expr, OrExpr):
+            return any(self.eval_bool(a) for a in expr.args)
+        if isinstance(expr, Atom):
+            return expr.evaluate({v: self.value_of(v) for v, _ in expr.coeffs})
+        raise SolverError(f"cannot evaluate {expr!r}")
+
+    @property
+    def reals(self) -> Dict[RealVar, Fraction]:
+        return dict(self._reals)
+
+    @property
+    def bools(self) -> Dict[BoolVar, bool]:
+        return dict(self._bools)
+
+
+class Solver:
+    """Incremental DPLL(T) solver for QF_LRA + Booleans."""
+
+    def __init__(self) -> None:
+        self._theory = LraTheory()
+        self._sat = SatSolver(self._theory)
+        self._cnf = CnfConverter(self._sat, self._theory)
+        self._assertions: list[BoolExpr] = []
+        self._model: Optional[Model] = None
+
+    @property
+    def assertions(self) -> list[BoolExpr]:
+        return list(self._assertions)
+
+    @property
+    def statistics(self) -> dict:
+        return self._sat.statistics
+
+    def add(self, *exprs: BoolExpr | bool | Iterable) -> None:
+        """Assert one or more formulas (lists/tuples are flattened)."""
+        for expr in exprs:
+            if isinstance(expr, (list, tuple)):
+                self.add(*expr)
+                continue
+            if isinstance(expr, bool):
+                expr = BoolConst(expr)
+            if not isinstance(expr, BoolExpr):
+                raise SolverError(f"cannot assert non-Boolean {expr!r}")
+            self._assertions.append(expr)
+            self._cnf.assert_formula(expr)
+
+    def check(self) -> CheckResult:
+        """Decide satisfiability of the asserted formulas."""
+        self._model = None
+        if self._sat.solve():
+            bools = {
+                bv: self._sat.model_value(satvar)
+                for bv, satvar in self._cnf.bool_vars.items()
+            }
+            self._model = Model(bools, self._theory.model_reals)
+            return sat
+        return unsat
+
+    def model(self) -> Model:
+        if self._model is None:
+            raise SolverError("model is only available after a sat check()")
+        return self._model

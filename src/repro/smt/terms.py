@@ -1,0 +1,432 @@
+"""Term language for the SMT solver: Booleans and linear real arithmetic.
+
+This module provides a z3py-flavoured expression API::
+
+    x, y = Real("x"), Real("y")
+    a, b = Bool("a"), Bool("b")
+    f = Or(a, And(b, x - y >= 2), x + 3 * y <= Fraction(7, 2))
+
+Arithmetic terms are kept in *linear normal form* at construction time: a
+:class:`LinExpr` is a mapping ``variable -> Fraction coefficient`` plus a
+constant.  Comparisons build :class:`Atom` leaves normalized to
+``sum(coeffs) <= rhs`` or ``< rhs`` (negations of atoms are handled by the
+theory layer, not by separate atom objects).
+
+Following z3py, ``==`` on arithmetic expressions builds a formula (an
+``And`` of two inequalities); term objects hash by identity.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, Mapping, Sequence, Tuple, Union
+
+from ..errors import SolverError
+
+Number = Union[int, Fraction, float, str]
+
+
+def _to_fraction(value: Number) -> Fraction:
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, str):
+        return Fraction(value)
+    if isinstance(value, float):
+        return Fraction(value).limit_denominator(10**12)
+    raise SolverError(f"cannot interpret {value!r} as a rational constant")
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic layer
+# ---------------------------------------------------------------------------
+
+
+class RealVar:
+    """A real-valued SMT variable, identified by name."""
+
+    __slots__ = ("name",)
+    _registry: Dict[str, "RealVar"] = {}
+
+    def __new__(cls, name: str) -> "RealVar":
+        existing = cls._registry.get(name)
+        if existing is not None:
+            return existing
+        obj = object.__new__(cls)
+        obj.name = name
+        cls._registry[name] = obj
+        return obj
+
+    def __repr__(self) -> str:
+        return f"RealVar({self.name!r})"
+
+
+class LinExpr:
+    """An affine expression ``sum(coeff * var) + const`` over the reals."""
+
+    __slots__ = ("coeffs", "const")
+
+    def __init__(self, coeffs: Mapping[RealVar, Fraction] | None = None,
+                 const: Number = 0):
+        self.coeffs: Dict[RealVar, Fraction] = {
+            v: Fraction(c) for v, c in (coeffs or {}).items() if c != 0
+        }
+        self.const: Fraction = _to_fraction(const)
+
+    # -- construction helpers ------------------------------------------------
+
+    @staticmethod
+    def variable(var: RealVar) -> "LinExpr":
+        return LinExpr({var: Fraction(1)})
+
+    @staticmethod
+    def constant(value: Number) -> "LinExpr":
+        return LinExpr({}, value)
+
+    @staticmethod
+    def coerce(value: "LinExpr | RealVar | Number") -> "LinExpr":
+        if isinstance(value, LinExpr):
+            return value
+        if isinstance(value, RealVar):
+            return LinExpr.variable(value)
+        return LinExpr.constant(value)
+
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    @property
+    def variables(self) -> Tuple[RealVar, ...]:
+        return tuple(self.coeffs)
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def __add__(self, other) -> "LinExpr":
+        other = LinExpr.coerce(other)
+        coeffs = dict(self.coeffs)
+        for v, c in other.coeffs.items():
+            coeffs[v] = coeffs.get(v, Fraction(0)) + c
+        return LinExpr(coeffs, self.const + other.const)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "LinExpr":
+        return LinExpr({v: -c for v, c in self.coeffs.items()}, -self.const)
+
+    def __sub__(self, other) -> "LinExpr":
+        return self + (-LinExpr.coerce(other))
+
+    def __rsub__(self, other) -> "LinExpr":
+        return LinExpr.coerce(other) + (-self)
+
+    def __mul__(self, other) -> "LinExpr":
+        if isinstance(other, (LinExpr, RealVar)):
+            other = LinExpr.coerce(other)
+            if not other.is_constant() and not self.is_constant():
+                raise SolverError("non-linear product of two variable expressions")
+            if other.is_constant():
+                k = other.const
+                return LinExpr({v: c * k for v, c in self.coeffs.items()},
+                               self.const * k)
+            k = self.const
+            return LinExpr({v: c * k for v, c in other.coeffs.items()},
+                           other.const * k)
+        k = _to_fraction(other)
+        return LinExpr({v: c * k for v, c in self.coeffs.items()}, self.const * k)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "LinExpr":
+        k = _to_fraction(other)
+        if k == 0:
+            raise ZeroDivisionError("division of linear expression by zero")
+        return self * Fraction(1, 1) * (Fraction(1) / k)
+
+    # -- comparisons build atoms/formulas ---------------------------------------
+
+    def __le__(self, other) -> "BoolExpr":
+        return Atom.build(self - LinExpr.coerce(other), strict=False)
+
+    def __lt__(self, other) -> "BoolExpr":
+        return Atom.build(self - LinExpr.coerce(other), strict=True)
+
+    def __ge__(self, other) -> "BoolExpr":
+        return Atom.build(LinExpr.coerce(other) - self, strict=False)
+
+    def __gt__(self, other) -> "BoolExpr":
+        return Atom.build(LinExpr.coerce(other) - self, strict=True)
+
+    def __eq__(self, other):  # type: ignore[override]
+        other = LinExpr.coerce(other)
+        return And(self <= other, self >= other)
+
+    def __ne__(self, other):  # type: ignore[override]
+        other = LinExpr.coerce(other)
+        return Or(self < other, self > other)
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def evaluate(self, assignment: Mapping[RealVar, Fraction]) -> Fraction:
+        """Evaluate under a total assignment of the free variables."""
+        total = self.const
+        for v, c in self.coeffs.items():
+            total += c * assignment[v]
+        return total
+
+    def __repr__(self) -> str:
+        parts = [f"{c}*{v.name}" for v, c in sorted(
+            self.coeffs.items(), key=lambda it: it[0].name)]
+        if self.const != 0 or not parts:
+            parts.append(str(self.const))
+        return " + ".join(parts)
+
+
+def Real(name: str) -> LinExpr:
+    """Declare (or retrieve) a real variable as a linear expression."""
+    return LinExpr.variable(RealVar(name))
+
+
+def RealVal(value: Number) -> LinExpr:
+    """A rational constant as a linear expression."""
+    return LinExpr.constant(value)
+
+
+# ---------------------------------------------------------------------------
+# Boolean layer
+# ---------------------------------------------------------------------------
+
+
+class BoolExpr:
+    """Base class for Boolean formulas.  Hash/eq are by identity (z3 style)."""
+
+    __slots__ = ()
+
+    def __and__(self, other) -> "BoolExpr":
+        return And(self, other)
+
+    def __or__(self, other) -> "BoolExpr":
+        return Or(self, other)
+
+    def __invert__(self) -> "BoolExpr":
+        return Not(self)
+
+
+class BoolConst(BoolExpr):
+    """Boolean constants ``TRUE_EXPR`` / ``FALSE_EXPR``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        self.value = value
+
+    def __repr__(self) -> str:
+        return "true" if self.value else "false"
+
+
+TRUE_EXPR = BoolConst(True)
+FALSE_EXPR = BoolConst(False)
+
+
+def BoolVal(value: bool) -> BoolConst:
+    return TRUE_EXPR if value else FALSE_EXPR
+
+
+class BoolVar(BoolExpr):
+    """A named propositional variable."""
+
+    __slots__ = ("name",)
+    _registry: Dict[str, "BoolVar"] = {}
+
+    def __new__(cls, name: str) -> "BoolVar":
+        existing = cls._registry.get(name)
+        if existing is not None:
+            return existing
+        obj = object.__new__(cls)
+        obj.name = name
+        cls._registry[name] = obj
+        return obj
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+def Bool(name: str) -> BoolVar:
+    """Declare (or retrieve) a propositional variable."""
+    return BoolVar(name)
+
+
+class NotExpr(BoolExpr):
+    __slots__ = ("arg",)
+
+    def __init__(self, arg: BoolExpr):
+        self.arg = arg
+
+    def __repr__(self) -> str:
+        return f"(not {self.arg!r})"
+
+
+class AndExpr(BoolExpr):
+    __slots__ = ("args",)
+
+    def __init__(self, args: Tuple[BoolExpr, ...]):
+        self.args = args
+
+    def __repr__(self) -> str:
+        return "(and " + " ".join(repr(a) for a in self.args) + ")"
+
+
+class OrExpr(BoolExpr):
+    __slots__ = ("args",)
+
+    def __init__(self, args: Tuple[BoolExpr, ...]):
+        self.args = args
+
+    def __repr__(self) -> str:
+        return "(or " + " ".join(repr(a) for a in self.args) + ")"
+
+
+class Atom(BoolExpr):
+    """A linear-arithmetic atom in normal form ``expr <= 0`` or ``expr < 0``.
+
+    ``expr`` carries the constant, i.e. the atom is
+    ``sum(c_i * x_i) (<= | <) -const``.
+    """
+
+    __slots__ = ("coeffs", "rhs", "strict")
+
+    def __init__(self, coeffs: Tuple[Tuple[RealVar, Fraction], ...],
+                 rhs: Fraction, strict: bool):
+        self.coeffs = coeffs
+        self.rhs = rhs
+        self.strict = strict
+
+    @staticmethod
+    def build(diff: LinExpr, strict: bool) -> BoolExpr:
+        """Build the atom ``diff <= 0`` (or ``< 0``), folding constants."""
+        if diff.is_constant():
+            if strict:
+                return BoolVal(diff.const < 0)
+            return BoolVal(diff.const <= 0)
+        coeffs = tuple(sorted(diff.coeffs.items(), key=lambda it: it[0].name))
+        return Atom(coeffs, -diff.const, strict)
+
+    @property
+    def key(self) -> Tuple:
+        """Canonical identity for atom deduplication."""
+        return (self.coeffs, self.rhs, self.strict)
+
+    def evaluate(self, assignment: Mapping[RealVar, Fraction]) -> bool:
+        total = Fraction(0)
+        for v, c in self.coeffs:
+            total += c * assignment[v]
+        return total < self.rhs if self.strict else total <= self.rhs
+
+    def __repr__(self) -> str:
+        lhs = " + ".join(f"{c}*{v.name}" for v, c in self.coeffs)
+        op = "<" if self.strict else "<="
+        return f"({lhs} {op} {self.rhs})"
+
+
+# ---------------------------------------------------------------------------
+# Formula constructors
+# ---------------------------------------------------------------------------
+
+
+def _flatten(args: Sequence, cls) -> Iterable[BoolExpr]:
+    for a in args:
+        if isinstance(a, (list, tuple)):
+            yield from _flatten(a, cls)
+        elif isinstance(a, cls):
+            yield from a.args
+        elif isinstance(a, bool):
+            yield BoolVal(a)
+        elif isinstance(a, BoolExpr):
+            yield a
+        else:
+            raise SolverError(f"expected a Boolean expression, got {a!r}")
+
+
+def And(*args) -> BoolExpr:
+    """N-ary conjunction with constant folding and flattening."""
+    flat = []
+    for a in _flatten(args, AndExpr):
+        if isinstance(a, BoolConst):
+            if not a.value:
+                return FALSE_EXPR
+            continue
+        flat.append(a)
+    if not flat:
+        return TRUE_EXPR
+    if len(flat) == 1:
+        return flat[0]
+    return AndExpr(tuple(flat))
+
+
+def Or(*args) -> BoolExpr:
+    """N-ary disjunction with constant folding and flattening."""
+    flat = []
+    for a in _flatten(args, OrExpr):
+        if isinstance(a, BoolConst):
+            if a.value:
+                return TRUE_EXPR
+            continue
+        flat.append(a)
+    if not flat:
+        return FALSE_EXPR
+    if len(flat) == 1:
+        return flat[0]
+    return OrExpr(tuple(flat))
+
+
+def Not(arg: BoolExpr) -> BoolExpr:
+    if isinstance(arg, bool):
+        arg = BoolVal(arg)
+    if isinstance(arg, BoolConst):
+        return BoolVal(not arg.value)
+    if isinstance(arg, NotExpr):
+        return arg.arg
+    return NotExpr(arg)
+
+
+def Implies(a: BoolExpr, b: BoolExpr) -> BoolExpr:
+    return Or(Not(a), b)
+
+
+def Iff(a: BoolExpr, b: BoolExpr) -> BoolExpr:
+    return And(Or(Not(a), b), Or(a, Not(b)))
+
+
+def Ite(cond: BoolExpr, then_b: BoolExpr, else_b: BoolExpr) -> BoolExpr:
+    """Boolean if-then-else."""
+    return And(Or(Not(cond), then_b), Or(cond, else_b))
+
+
+def ExactlyOne(*args) -> BoolExpr:
+    """Exactly one of the arguments holds (pairwise encoding)."""
+    items = []
+    for a in args:
+        if isinstance(a, (list, tuple)):
+            items.extend(a)
+        else:
+            items.append(a)
+    if not items:
+        return FALSE_EXPR
+    at_least = Or(*items)
+    at_most = And(*[
+        Or(Not(items[i]), Not(items[j]))
+        for i in range(len(items))
+        for j in range(i + 1, len(items))
+    ])
+    return And(at_least, at_most)
+
+
+def Sum(*args) -> LinExpr:
+    """Sum of linear expressions / constants."""
+    total = LinExpr.constant(0)
+    for a in args:
+        if isinstance(a, (list, tuple)):
+            for b in a:
+                total = total + LinExpr.coerce(b)
+        else:
+            total = total + LinExpr.coerce(a)
+    return total

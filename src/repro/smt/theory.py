@@ -1,0 +1,225 @@
+"""Linear-real-arithmetic theory backend for the CDCL core (DPLL(T) glue).
+
+Atom lifecycle:
+
+1. At encoding time, :meth:`LraTheory.register_atom` maps each unique
+   :class:`~repro.smt.terms.Atom` to a SAT variable and precomputes, for
+   both phases of that variable, the bound assertions to perform.
+2. During search, the SAT core feeds every trail literal to
+   :meth:`on_assert`.  Difference atoms are asserted *eagerly* into the
+   difference-logic engine (cheap, catches the vast majority of scheduling
+   conflicts immediately); every atom is also asserted as a simplex bound.
+   Asserting a *general* atom (non-difference, e.g. the paper's stability
+   constraints) additionally triggers a full simplex check because such
+   atoms interact with difference chains in ways the DL engine cannot see.
+3. At a full propositional assignment, :meth:`final_check` runs the exact
+   simplex over everything, certifying the model; the concrete rational
+   model is snapshotted there (before the SAT core backtracks).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SolverError
+from ..sat.literals import is_positive, var_of
+from ..sat.solver import TheoryBackend
+from .difflogic import DifferenceLogic
+from .rationals import DeltaRational
+from .simplex import Simplex
+from .terms import Atom, RealVar
+
+
+class _PhaseAction:
+    """Precomputed effect of asserting one phase of a theory atom."""
+
+    __slots__ = ("sx_var", "sx_is_upper", "sx_bound", "dl_edge")
+
+    def __init__(
+        self,
+        sx_var: int,
+        sx_is_upper: bool,
+        sx_bound: DeltaRational,
+        dl_edge: Optional[Tuple[int, int, DeltaRational]],
+    ):
+        self.sx_var = sx_var
+        self.sx_is_upper = sx_is_upper
+        self.sx_bound = sx_bound
+        # dl_edge = (x, y, bound): assert  x - y <= bound  in the DL engine.
+        self.dl_edge = dl_edge
+
+
+class LraTheory(TheoryBackend):
+    """Combined difference-logic + simplex theory with trail alignment."""
+
+    def __init__(self) -> None:
+        self.dl = DifferenceLogic()
+        self.simplex = Simplex()
+        self._real_to_sx: Dict[RealVar, int] = {}
+        self._real_to_dl: Dict[RealVar, int] = {}
+        self._slack_cache: Dict[Tuple, int] = {}
+        # SAT var -> (positive-phase action, negative-phase action, general?)
+        self._atoms: Dict[int, Tuple[_PhaseAction, _PhaseAction, bool]] = {}
+        # Undo marks, parallel to the SAT trail.
+        self._marks: List[Tuple[int, int]] = []
+        self._model_reals: Optional[Dict[RealVar, Fraction]] = None
+
+    # ------------------------------------------------------------------
+    # Variable / atom registration (encoding time)
+    # ------------------------------------------------------------------
+
+    def sx_var(self, var: RealVar) -> int:
+        idx = self._real_to_sx.get(var)
+        if idx is None:
+            idx = self.simplex.new_var()
+            self._real_to_sx[var] = idx
+        return idx
+
+    def dl_node(self, var: RealVar) -> int:
+        idx = self._real_to_dl.get(var)
+        if idx is None:
+            idx = self.dl.new_node()
+            self._real_to_dl[var] = idx
+        return idx
+
+    def register_atom(self, atom: Atom, sat_var: int) -> None:
+        """Associate a SAT variable with a normalized linear atom."""
+        coeffs = atom.coeffs
+        rhs = Fraction(atom.rhs)
+        strict = atom.strict
+        if not coeffs:
+            raise SolverError("constant atom should have been folded away")
+        is_difference = False
+        dl_pos = dl_neg = None
+
+        if len(coeffs) == 1:
+            (v, c), = coeffs
+            b = rhs / c
+            sx = self.sx_var(v)
+            node = self.dl_node(v)
+            zero = self.dl.zero_node
+            if c > 0:
+                # v <= b (strict?)   /   neg: v > b
+                pos = _PhaseAction(sx, True, _upper(b, strict), (node, zero, _upper(b, strict)))
+                neg = _PhaseAction(sx, False, _lower_of_neg_le(b, strict),
+                                   (zero, node, -_lower_of_neg_le(b, strict)))
+            else:
+                # v >= b (strict?)   /   neg: v < b
+                pos = _PhaseAction(sx, False, _lower(b, strict), (zero, node, -_lower(b, strict)))
+                neg = _PhaseAction(sx, True, _upper_of_neg_ge(b, strict),
+                                   (node, zero, _upper_of_neg_ge(b, strict)))
+            is_difference = True
+        elif len(coeffs) == 2 and coeffs[0][1] == -coeffs[1][1]:
+            (v1, c1), (v2, c2) = coeffs
+            # c1*v1 + c2*v2 <= rhs with c2 == -c1  =>  v1 - v2 <= rhs/c1 (c1>0)
+            if c1 > 0:
+                x, y, b = v1, v2, rhs / c1
+            else:
+                x, y, b = v2, v1, rhs / c2
+            nx, ny = self.dl_node(x), self.dl_node(y)
+            s = self._slack_for(coeffs)
+            # Atom <=> x - y <= b (strict?);  neg: x - y > b <=> y - x < -b.
+            # The simplex slack is the literal sum(coeffs), so its bounds
+            # stay in the rhs scale while the DL edge uses the b scale.
+            pos_bound = _upper(b, strict)
+            neg_bound = _lower_of_neg_le(b, strict)
+            pos = _PhaseAction(s, True, _upper(rhs, strict), (nx, ny, pos_bound))
+            neg = _PhaseAction(s, False, _lower_of_neg_le(rhs, strict),
+                               (ny, nx, -neg_bound))
+            is_difference = True
+        else:
+            s = self._slack_for(coeffs)
+            pos = _PhaseAction(s, True, _upper(rhs, strict), None)
+            neg = _PhaseAction(s, False, _lower_of_neg_le(rhs, strict), None)
+
+        self._atoms[sat_var] = (pos, neg, not is_difference)
+
+    def _slack_for(self, coeffs: Tuple[Tuple[RealVar, Fraction], ...]) -> int:
+        key = tuple((v.name, c) for v, c in coeffs)
+        s = self._slack_cache.get(key)
+        if s is None:
+            s = self.simplex.add_row({self.sx_var(v): c for v, c in coeffs})
+            self._slack_cache[key] = s
+        return s
+
+    # ------------------------------------------------------------------
+    # TheoryBackend protocol
+    # ------------------------------------------------------------------
+
+    def on_assert(self, literal: int) -> Optional[List[int]]:
+        self._marks.append((self.dl.mark(), self.simplex.mark()))
+        entry = self._atoms.get(var_of(literal))
+        if entry is None:
+            return None
+        pos, neg, is_general = entry
+        action = pos if is_positive(literal) else neg
+        if action.dl_edge is not None:
+            x, y, bound = action.dl_edge
+            conflict = self.dl.assert_constraint(x, y, bound, literal)
+            if conflict is not None:
+                return conflict
+        if action.sx_is_upper:
+            conflict = self.simplex.assert_upper(action.sx_var, action.sx_bound, literal)
+        else:
+            conflict = self.simplex.assert_lower(action.sx_var, action.sx_bound, literal)
+        if conflict is not None:
+            return conflict
+        if is_general:
+            return self.simplex.check()
+        return None
+
+    def on_backjump(self, n_kept: int) -> None:
+        if n_kept < len(self._marks):
+            dl_mark, sx_mark = self._marks[n_kept]
+            self.dl.undo_to(dl_mark)
+            self.simplex.undo_to(sx_mark)
+            del self._marks[n_kept:]
+
+    def final_check(self) -> Optional[List[int]]:
+        conflict = self.simplex.check()
+        if conflict is not None:
+            return conflict
+        values = self.simplex.model()
+        self._model_reals = {
+            var: values[idx] for var, idx in self._real_to_sx.items()
+        }
+        return None
+
+    # ------------------------------------------------------------------
+    # Model access
+    # ------------------------------------------------------------------
+
+    @property
+    def model_reals(self) -> Dict[RealVar, Fraction]:
+        if self._model_reals is None:
+            raise SolverError("no theory model available; call check() first")
+        return self._model_reals
+
+
+def _upper(b: Fraction, strict: bool) -> DeltaRational:
+    """Upper bound for ``e <= b`` / ``e < b``."""
+    return DeltaRational(b, -1 if strict else 0)
+
+
+def _lower(b: Fraction, strict: bool) -> DeltaRational:
+    """Lower bound for ``e >= b`` / ``e > b``."""
+    return DeltaRational(b, 1 if strict else 0)
+
+
+def _lower_of_neg_le(b: Fraction, strict: bool) -> DeltaRational:
+    """Lower bound for the negation of ``e <= b (strict?)``.
+
+    not(e <= b)  ->  e > b   -> bound b + delta
+    not(e <  b)  ->  e >= b  -> bound b
+    """
+    return DeltaRational(b, 0 if strict else 1)
+
+
+def _upper_of_neg_ge(b: Fraction, strict: bool) -> DeltaRational:
+    """Upper bound for the negation of ``e >= b (strict?)``.
+
+    not(e >= b)  ->  e < b   -> bound b - delta
+    not(e >  b)  ->  e <= b  -> bound b
+    """
+    return DeltaRational(b, 0 if strict else -1)

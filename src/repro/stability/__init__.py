@@ -1,0 +1,30 @@
+"""Stability analysis substrate (DESIGN.md S6; paper Sec. IV).
+
+Replaces the MATLAB Jitter Margin toolbox: a sufficient frequency-domain
+small-gain criterion gives the maximum tolerable response-time jitter
+``J_max(L)`` per latency; :func:`compute_stability_curve` samples the
+stability boundary (Fig. 3) and :func:`fit_lower_bound` extracts the
+verified piecewise-linear (alpha, beta, L) segments of Eq. (2)/(3) that
+the synthesizer turns into SMT constraints.
+"""
+
+from .curve import StabilityCurve, compute_stability_curve
+from .jitter_margin import (
+    JitterMarginOptions,
+    delay_margin,
+    jitter_margin,
+    nominal_loop_stable,
+)
+from .piecewise import Segment, StabilitySpec, fit_lower_bound
+
+__all__ = [
+    "JitterMarginOptions",
+    "Segment",
+    "StabilityCurve",
+    "StabilitySpec",
+    "compute_stability_curve",
+    "delay_margin",
+    "fit_lower_bound",
+    "jitter_margin",
+    "nominal_loop_stable",
+]

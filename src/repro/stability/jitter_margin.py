@@ -1,0 +1,182 @@
+"""Jitter-margin analysis (paper Sec. IV; substitution for [5]).
+
+The paper uses Cervin's MATLAB *Jitter Margin* toolbox, which provides
+"sufficient conditions for the worst-case stability of a closed-loop
+system with a linear continuous-time plant and a linear discrete-time
+controller" as a function of the latency ``L`` (constant delay part) and
+the worst-case response-time jitter ``J``.
+
+We implement the published frequency-domain criterion behind that
+analysis (Kao & Lincoln 2004, used by Cervin's 2012 jitter-margin paper):
+
+* **Nominal stability**: the sampled-data loop with *constant* input
+  delay ``L`` must be Schur stable.  This is checked exactly by
+  discretizing the plant with delay ``L`` (:func:`repro.control.c2d_delayed`)
+  and closing the loop with the discrete controller.
+* **Jitter robustness** (small-gain): for time-varying delay in
+  ``[L, L + J]`` the loop remains stable if::
+
+      J * sup_w  w * |P(jw) C(e^{jwh})| / |1 + P(jw) C(e^{jwh}) e^{-jwL}| < 1
+
+  because the deviation from the nominal delay is a multiplicative
+  uncertainty ``e^{-jw(d-L)} - 1`` of gain at most ``w * J`` on the
+  nominal complementary sensitivity.  Hence::
+
+      J_max(L) = 1 / sup_w ( w * |T_L(jw)| )
+
+The criterion is *sufficient* (conservative), exactly matching the role
+the paper assigns the toolbox: the area below the returned curve is
+guaranteed stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import StabilityAnalysisError
+from ..control.discretize import c2d, c2d_delayed
+from ..control.lqg import closed_loop
+from ..control.lti import StateSpace
+
+
+@dataclass(frozen=True)
+class JitterMarginOptions:
+    """Frequency-sweep options for the small-gain supremum.
+
+    The supremum is approximated on a dense log/linear grid up to
+    ``omega_max_factor * pi / h`` (several controller Nyquist periods) and
+    refined around the peak; ``safety`` shrinks the resulting margin to
+    absorb the residual grid error.
+    """
+
+    n_grid: int = 4000
+    omega_max_factor: float = 40.0
+    refine_rounds: int = 3
+    safety: float = 0.98
+
+
+def nominal_loop_stable(plant: StateSpace, controller: StateSpace,
+                        h: float, latency: float) -> bool:
+    """Exact Schur check of the sampled-data loop with constant delay."""
+    if latency < 0:
+        raise StabilityAnalysisError("latency must be non-negative")
+    pd = c2d_delayed(plant, h, latency)
+    cl = closed_loop(pd, controller)
+    return cl.is_stable(tol=1e-10)
+
+
+def _loop_gain(plant: StateSpace, controller: StateSpace,
+               omega: np.ndarray) -> np.ndarray:
+    """``P(jw) * C(e^{jwh})`` on the grid (SISO)."""
+    return plant.siso_response(omega) * controller.siso_response(omega)
+
+
+def delay_margin(
+    plant: StateSpace,
+    controller: StateSpace,
+    h: float,
+    upper: Optional[float] = None,
+    iterations: int = 48,
+) -> float:
+    """Largest constant delay keeping the sampled loop Schur stable.
+
+    Found by bisection over the exact delayed discretization.  ``upper``
+    caps the search (default ``8 h``); if the loop is still stable there,
+    ``upper`` itself is returned.
+    """
+    cap = 8.0 * h if upper is None else upper
+    if not nominal_loop_stable(plant, controller, h, 0.0):
+        return 0.0
+    if nominal_loop_stable(plant, controller, h, cap):
+        return cap
+    lo, hi = 0.0, cap
+    for _ in range(iterations):
+        mid = (lo + hi) / 2
+        if nominal_loop_stable(plant, controller, h, mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def jitter_margin(
+    plant: StateSpace,
+    controller: StateSpace,
+    h: float,
+    latency: float = 0.0,
+    options: Optional[JitterMarginOptions] = None,
+    stability_boundary: Optional[float] = None,
+) -> float:
+    """Maximum tolerable jitter ``J_max`` at constant latency ``L``.
+
+    The returned margin is the *intersection* of two conditions:
+
+    * the small-gain bound described above, and
+    * ``L + J <= delay_margin`` — necessary, because a delay pinned
+      constantly at ``L + J`` is a legal realization of the jitter, so no
+      sound criterion may admit points beyond the constant-delay margin.
+
+    ``stability_boundary`` passes a precomputed :func:`delay_margin` to
+    avoid re-bisecting when sampling whole curves.
+
+    Returns 0.0 when the nominal loop itself is unstable at this latency
+    (no jitter is tolerable; the stability curve has ended).
+    """
+    if plant.is_discrete:
+        raise StabilityAnalysisError("plant must be continuous-time")
+    if not controller.is_discrete:
+        raise StabilityAnalysisError("controller must be discrete-time")
+    opts = options or JitterMarginOptions()
+    if not nominal_loop_stable(plant, controller, h, latency):
+        return 0.0
+
+    omega_max = opts.omega_max_factor * np.pi / h
+    # Log-spaced low end + linear high end to capture both the resonance
+    # peak and the periodic controller response.
+    grid = np.unique(
+        np.concatenate(
+            [
+                np.logspace(np.log10(omega_max) - 6, np.log10(omega_max), opts.n_grid),
+                np.linspace(omega_max / opts.n_grid, omega_max, opts.n_grid),
+            ]
+        )
+    )
+
+    def gain(omega: np.ndarray) -> np.ndarray:
+        pc = _loop_gain(plant, controller, omega)
+        t_l = pc * np.exp(-1j * omega * latency)
+        denom = 1 + t_l
+        with np.errstate(divide="ignore", invalid="ignore"):
+            val = omega * np.abs(t_l) / np.abs(denom)
+        val[~np.isfinite(val)] = np.inf
+        return val
+
+    values = gain(grid)
+    if np.any(np.isinf(values)):
+        # The nominal characteristic equation touches the critical point on
+        # the grid: treat as no margin.
+        return 0.0
+    peak_idx = int(np.argmax(values))
+    peak = float(values[peak_idx])
+    # Local refinement around the peak.
+    for _ in range(opts.refine_rounds):
+        lo = grid[max(0, peak_idx - 1)]
+        hi = grid[min(len(grid) - 1, peak_idx + 1)]
+        local = np.linspace(lo, hi, 200)
+        lv = gain(local)
+        li = int(np.argmax(lv))
+        if lv[li] > peak:
+            peak = float(lv[li])
+        grid, values, peak_idx = local, lv, li
+    if peak <= 0:
+        raise StabilityAnalysisError("degenerate loop gain (zero everywhere)")
+    small_gain = opts.safety / peak
+    boundary = (
+        stability_boundary
+        if stability_boundary is not None
+        else delay_margin(plant, controller, h)
+    )
+    return max(0.0, min(small_gain, boundary - latency))

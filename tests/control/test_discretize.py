@@ -1,0 +1,179 @@
+"""Discretization tests, with scipy as the oracle for expm and c2d."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control import StateSpace, c2d, c2d_delayed, expm, tf_to_ss
+from repro.errors import ControlDesignError
+
+
+class TestExpm:
+    def test_zero_matrix(self):
+        np.testing.assert_allclose(expm(np.zeros((3, 3))), np.eye(3))
+
+    def test_diagonal(self):
+        A = np.diag([1.0, -2.0, 0.5])
+        np.testing.assert_allclose(expm(A), np.diag(np.exp([1.0, -2.0, 0.5])),
+                                   rtol=1e-12)
+
+    def test_nilpotent(self):
+        A = np.array([[0.0, 1.0], [0.0, 0.0]])
+        np.testing.assert_allclose(expm(A), [[1, 1], [0, 1]], rtol=1e-12)
+
+    def test_rotation(self):
+        w = 2.0
+        A = np.array([[0.0, w], [-w, 0.0]])
+        expected = np.array([[np.cos(w), np.sin(w)], [-np.sin(w), np.cos(w)]])
+        np.testing.assert_allclose(expm(A), expected, rtol=1e-10, atol=1e-12)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ControlDesignError):
+            expm(np.zeros((2, 3)))
+
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_scipy(self, n, seed):
+        rng = np.random.default_rng(seed)
+        A = rng.normal(scale=2.0, size=(n, n))
+        ours = expm(A)
+        ref = scipy.linalg.expm(A)
+        np.testing.assert_allclose(ours, ref, rtol=1e-8, atol=1e-10)
+
+
+class TestC2d:
+    def test_integrator(self):
+        # x' = u  ->  x+ = x + h u.
+        sys = StateSpace([[0.0]], [[1.0]], [[1.0]], [[0.0]])
+        d = c2d(sys, 0.1)
+        np.testing.assert_allclose(d.A, [[1.0]])
+        np.testing.assert_allclose(d.B, [[0.1]])
+        assert d.dt == 0.1
+
+    def test_first_order_lag(self):
+        a = -3.0
+        sys = StateSpace([[a]], [[1.0]], [[1.0]], [[0.0]])
+        h = 0.05
+        d = c2d(sys, h)
+        np.testing.assert_allclose(d.A, [[np.exp(a * h)]], rtol=1e-12)
+        np.testing.assert_allclose(d.B, [[(np.exp(a * h) - 1) / a]], rtol=1e-12)
+
+    def test_double_integrator(self):
+        sys = tf_to_ss([1], [1, 0, 0])
+        h = 0.2
+        d = c2d(sys, h)
+        # Known ZOH of 1/s^2 in controllable canonical coordinates:
+        # states (v, p): v' = u, p' = v ... C picks position.
+        y_gain = (d.C @ d.B + d.D).item()
+        assert y_gain == pytest.approx(h * h / 2, rel=1e-12)
+
+    def test_rejects_discrete_input(self):
+        d = StateSpace([[1.0]], [[1.0]], [[1.0]], [[0.0]], dt=0.1)
+        with pytest.raises(ControlDesignError):
+            c2d(d, 0.1)
+
+    def test_rejects_bad_period(self):
+        sys = StateSpace([[0.0]], [[1.0]], [[1.0]], [[0.0]])
+        with pytest.raises(ControlDesignError):
+            c2d(sys, 0.0)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_scipy_cont2discrete(self, seed):
+        rng = np.random.default_rng(seed)
+        n = rng.integers(1, 4)
+        A = rng.normal(size=(n, n))
+        B = rng.normal(size=(n, 1))
+        sys = StateSpace(A, B, np.eye(n)[:1], np.zeros((1, 1)))
+        h = float(rng.uniform(0.01, 0.5))
+        d = c2d(sys, h)
+        from scipy.signal import cont2discrete
+
+        Ad, Bd, _, _, _ = cont2discrete((A, B, sys.C, sys.D), h, method="zoh")
+        np.testing.assert_allclose(d.A, Ad, rtol=1e-8, atol=1e-10)
+        np.testing.assert_allclose(d.B, Bd, rtol=1e-8, atol=1e-10)
+
+
+class TestC2dDelayed:
+    def test_zero_delay_equals_c2d(self):
+        sys = tf_to_ss([1], [1, 1, 0])
+        d0 = c2d_delayed(sys, 0.1, 0.0)
+        d1 = c2d(sys, 0.1)
+        np.testing.assert_allclose(d0.A, d1.A)
+        np.testing.assert_allclose(d0.B, d1.B)
+
+    def test_fractional_delay_adds_one_state(self):
+        sys = tf_to_ss([1], [1, 1, 0])
+        d = c2d_delayed(sys, 0.1, 0.03)
+        assert d.n_states == sys.n_states + 1
+
+    def test_full_period_delay(self):
+        sys = tf_to_ss([1], [1, 1, 0])
+        d = c2d_delayed(sys, 0.1, 0.1)
+        assert d.n_states == sys.n_states + 1
+
+    def test_multi_period_delay_states(self):
+        sys = tf_to_ss([1], [1, 1, 0])
+        d = c2d_delayed(sys, 0.1, 0.25)  # 2 whole + 0.05 frac -> 3 slots
+        assert d.n_states == sys.n_states + 3
+
+    def test_negative_delay_rejected(self):
+        sys = tf_to_ss([1], [1, 1, 0])
+        with pytest.raises(ControlDesignError):
+            c2d_delayed(sys, 0.1, -0.01)
+
+    def test_delayed_integrator_step_response(self):
+        """Integrator with tau delay: after one period x grows by (h - tau)u
+        (the new sample only acts during the final h - tau seconds)."""
+        sys = StateSpace([[0.0]], [[1.0]], [[1.0]], [[0.0]])
+        h, tau = 0.1, 0.04
+        d = c2d_delayed(sys, h, tau)
+        # State [x, u_prev]; apply u=1 from rest.
+        x = np.zeros(d.n_states)
+        u = np.array([1.0])
+        x = d.A @ x + d.B @ u
+        assert x[0] == pytest.approx(h - tau, rel=1e-12)
+        # Next period the remembered sample acts for the first tau seconds.
+        x = d.A @ x + d.B @ np.array([0.0])
+        assert x[0] == pytest.approx(h, rel=1e-12)
+
+    def test_delay_equivalence_via_simulation(self):
+        """Multi-period delayed model == plain model with shifted inputs."""
+        rng = np.random.default_rng(7)
+        sys = tf_to_ss([2.0], [1.0, 0.8, 1.5])
+        h, tau = 0.08, 0.19  # 2 whole periods + 0.03 fractional
+        d = c2d_delayed(sys, h, tau)
+        inputs = rng.normal(size=20)
+        x = np.zeros(d.n_states)
+        ys = []
+        for u in inputs:
+            ys.append((d.C @ x)[0])
+            x = d.A @ x + d.B @ np.array([u])
+        # Reference: exact integration applying each input tau later.
+        from repro.control.discretize import _phi_gamma
+
+        times = sorted(
+            {0.0, 20 * h}
+            | {k * h for k in range(21)}
+            | {k * h + tau for k in range(20)}
+        )
+        xr = np.zeros(sys.n_states)
+        current_u = 0.0
+        ys_ref = {}
+        for t0, t1 in zip(times, times[1:]):
+            k = int(round(t0 / h)) if abs(t0 / h - round(t0 / h)) < 1e-9 else None
+            if k is not None and 0 <= k < 21:
+                ys_ref[k] = (sys.C @ xr)[0]
+            # Input switches at k*h + tau.
+            for k2 in range(20):
+                if abs(t0 - (k2 * h + tau)) < 1e-9:
+                    current_u = inputs[k2]
+            phi, gam = _phi_gamma(sys.A, sys.B, t1 - t0)
+            xr = phi @ xr + gam @ np.array([current_u])
+        for k in range(20):
+            assert ys[k] == pytest.approx(ys_ref[k], abs=1e-9)

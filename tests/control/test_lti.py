@@ -1,0 +1,95 @@
+"""Tests for LTI state-space systems and transfer-function conversion."""
+
+import numpy as np
+import pytest
+
+from repro.control import StateSpace, tf_to_ss
+from repro.errors import ControlDesignError
+
+
+class TestStateSpace:
+    def test_dimensions(self):
+        sys = StateSpace([[0, 1], [-2, -3]], [[0], [1]], [[1, 0]], [[0]])
+        assert sys.n_states == 2
+        assert sys.n_inputs == 1
+        assert sys.n_outputs == 1
+        assert not sys.is_discrete
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ControlDesignError):
+            StateSpace([[0, 1]], [[1]], [[1]], [[0]])  # A not square
+        with pytest.raises(ControlDesignError):
+            StateSpace([[0]], [[1], [2]], [[1]], [[0]])  # B rows mismatch
+
+    def test_poles_and_stability(self):
+        stable = StateSpace([[-1, 0], [0, -2]], [[1], [1]], [[1, 0]], [[0]])
+        assert stable.is_stable()
+        unstable = StateSpace([[1]], [[1]], [[1]], [[0]])
+        assert not unstable.is_stable()
+
+    def test_discrete_stability_uses_unit_circle(self):
+        stable = StateSpace([[0.5]], [[1]], [[1]], [[0]], dt=0.01)
+        assert stable.is_stable()
+        unstable = StateSpace([[1.5]], [[1]], [[1]], [[0]], dt=0.01)
+        assert not unstable.is_stable()
+
+    def test_invalid_dt(self):
+        with pytest.raises(ControlDesignError):
+            StateSpace([[0]], [[1]], [[1]], [[0]], dt=-1)
+
+    def test_frequency_response_integrator(self):
+        # G(s) = 1/s: |G(jw)| = 1/w.
+        sys = tf_to_ss([1], [1, 0])
+        w = np.array([0.1, 1.0, 10.0])
+        resp = sys.siso_response(w)
+        np.testing.assert_allclose(np.abs(resp), 1 / w, rtol=1e-10)
+
+    def test_frequency_response_discrete(self):
+        # One-step delay: G(z) = 1/z, magnitude 1 at all frequencies.
+        sys = StateSpace([[0]], [[1]], [[1]], [[0]], dt=0.1)
+        w = np.array([1.0, 5.0, 20.0])
+        resp = sys.siso_response(w)
+        np.testing.assert_allclose(np.abs(resp), 1.0, rtol=1e-12)
+
+    def test_siso_response_requires_siso(self):
+        sys = StateSpace([[0]], [[1, 1]], [[1]], [[0, 0]])
+        with pytest.raises(ControlDesignError):
+            sys.siso_response(np.array([1.0]))
+
+
+class TestTfToSs:
+    def test_dc_servo_poles(self):
+        # 1000 / (s^2 + s): poles at 0 and -1.
+        sys = tf_to_ss([1000], [1, 1, 0])
+        poles = sorted(sys.poles().real)
+        np.testing.assert_allclose(poles, [-1.0, 0.0], atol=1e-12)
+
+    def test_frequency_response_matches_polynomial(self):
+        num, den = [2.0, 3.0], [1.0, 4.0, 5.0]
+        sys = tf_to_ss(num, den)
+        for w in (0.3, 1.7, 9.0):
+            s = 1j * w
+            expected = np.polyval(num, s) / np.polyval(den, s)
+            got = sys.siso_response(np.array([w]))[0]
+            np.testing.assert_allclose(got, expected, rtol=1e-10)
+
+    def test_biproper_transfer_function(self):
+        # G(s) = (s + 1) / (s + 2) has D = 1.
+        sys = tf_to_ss([1, 1], [1, 2])
+        assert sys.D[0, 0] == pytest.approx(1.0)
+        w = np.array([1.0])
+        expected = (1j + 1) / (1j + 2)
+        np.testing.assert_allclose(sys.siso_response(w)[0], expected, rtol=1e-10)
+
+    def test_improper_rejected(self):
+        with pytest.raises(ControlDesignError):
+            tf_to_ss([1, 0, 0], [1, 1])
+
+    def test_zero_leading_den_rejected(self):
+        with pytest.raises(ControlDesignError):
+            tf_to_ss([1], [0, 1])
+
+    def test_static_gain(self):
+        sys = tf_to_ss([3], [2])
+        assert sys.n_states == 0
+        assert sys.D[0, 0] == pytest.approx(1.5)

@@ -1,0 +1,79 @@
+"""Tests for the jittery closed-loop simulator."""
+
+import numpy as np
+import pytest
+
+from repro.control import (
+    StateSpace,
+    design_lqg,
+    plant_database,
+    simulate_with_delays,
+    tf_to_ss,
+)
+from repro.errors import ControlDesignError
+
+
+@pytest.fixture(scope="module")
+def servo_setup():
+    plant = tf_to_ss([1000], [1, 1, 0])
+    h = 0.006
+    ctrl = design_lqg(plant, h)
+    return plant, ctrl, h
+
+
+class TestSimulate:
+    def test_no_delay_converges(self, servo_setup):
+        # The dominant closed-loop eigenvalue is ~0.994, so convergence
+        # needs a few thousand periods.
+        plant, ctrl, h = servo_setup
+        res = simulate_with_delays(plant, ctrl, h, [0.0], n_steps=3000)
+        assert res.is_bounded()
+        assert res.final_state_norm < 1e-5
+
+    def test_constant_small_delay_converges(self, servo_setup):
+        plant, ctrl, h = servo_setup
+        res = simulate_with_delays(plant, ctrl, h, [0.1 * h], n_steps=3000)
+        assert res.is_bounded()
+        assert res.final_state_norm < 1e-4
+
+    def test_unstable_without_control(self):
+        # Inverted-pendulum-like plant with a zero controller diverges.
+        plant = StateSpace([[0.0, 1.0], [4.0, 0.0]], [[0.0], [1.0]],
+                           [[1.0, 0.0]], [[0.0]])
+        zero_ctrl = StateSpace([[0.0]], [[0.0]], [[0.0]], [[0.0]], dt=0.05)
+        res = simulate_with_delays(plant, zero_ctrl, 0.05, [0.0], n_steps=300)
+        assert not res.is_bounded(factor=10.0)
+
+    def test_rejects_bad_delays(self, servo_setup):
+        plant, ctrl, h = servo_setup
+        with pytest.raises(ControlDesignError):
+            simulate_with_delays(plant, ctrl, h, [2 * h])
+        with pytest.raises(ControlDesignError):
+            simulate_with_delays(plant, ctrl, h, [-0.001])
+
+    def test_rejects_mismatched_dt(self, servo_setup):
+        plant, ctrl, _ = servo_setup
+        with pytest.raises(ControlDesignError):
+            simulate_with_delays(plant, ctrl, 0.01, [0.0])
+
+    def test_trace_shapes(self, servo_setup):
+        plant, ctrl, h = servo_setup
+        res = simulate_with_delays(plant, ctrl, h, [0.0, 0.001], n_steps=50)
+        assert res.states.shape[0] == 51
+        assert res.controls.shape[0] == 50
+        assert res.delays.shape[0] == 50
+
+    def test_delay_pattern_cycles(self, servo_setup):
+        plant, ctrl, h = servo_setup
+        pattern = [0.0, 0.001, 0.002]
+        res = simulate_with_delays(plant, ctrl, h, pattern, n_steps=9)
+        np.testing.assert_allclose(res.delays, pattern * 3)
+
+    @pytest.mark.parametrize("spec", plant_database(), ids=lambda s: s.name)
+    def test_every_database_plant_stable_without_jitter(self, spec):
+        ctrl = design_lqg(spec.system, spec.nominal_period)
+        res = simulate_with_delays(
+            spec.system, ctrl, spec.nominal_period, [0.0], n_steps=600
+        )
+        assert res.is_bounded()
+        assert res.final_state_norm < res.states[0] @ res.states[0] + 1.0

@@ -1,0 +1,93 @@
+"""Tests for the synthesis problem model."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.network import DelayModel, microseconds, simple_testbed
+from repro.stability import StabilitySpec
+from repro.core import ControlApplication, SynthesisProblem
+
+
+def ms(x):
+    return Fraction(x, 1000)
+
+
+@pytest.fixture
+def net():
+    return simple_testbed(2)
+
+
+@pytest.fixture
+def delays():
+    return DelayModel(sd=microseconds(5), ld=Fraction(120, 1_000_000))
+
+
+def spec():
+    return StabilitySpec.single_line("1.5", "0.008")
+
+
+class TestControlApplication:
+    def test_flow_derivation(self):
+        app = ControlApplication("a", "S0", "C0", ms(10), spec())
+        assert app.flow.period == ms(10)
+        assert app.flow.source == "S0"
+
+    def test_invalid_period(self):
+        with pytest.raises(EncodingError):
+            ControlApplication("a", "S0", "C0", Fraction(0), spec())
+
+
+class TestSynthesisProblem:
+    def test_valid_problem(self, net, delays):
+        apps = [ControlApplication("a", "S0", "C0", ms(10), spec())]
+        prob = SynthesisProblem(net, apps, delays)
+        assert prob.hyperperiod == ms(10)
+        assert prob.num_messages == 1
+
+    def test_hyperperiod_and_expansion(self, net, delays):
+        apps = [
+            ControlApplication("a", "S0", "C0", ms(10), spec()),
+            ControlApplication("b", "S1", "C1", ms(4), spec()),
+        ]
+        prob = SynthesisProblem(net, apps, delays)
+        assert prob.hyperperiod == ms(20)
+        assert prob.num_messages == 2 + 5
+
+    def test_duplicate_names_rejected(self, net, delays):
+        apps = [
+            ControlApplication("a", "S0", "C0", ms(10), spec()),
+            ControlApplication("a", "S1", "C1", ms(10), spec()),
+        ]
+        with pytest.raises(EncodingError):
+            SynthesisProblem(net, apps, delays)
+
+    def test_unknown_sensor_rejected(self, net, delays):
+        apps = [ControlApplication("a", "nope", "C0", ms(10), spec())]
+        with pytest.raises(EncodingError):
+            SynthesisProblem(net, apps, delays)
+
+    def test_wrong_node_kind_rejected(self, net, delays):
+        apps = [ControlApplication("a", "SW0", "C0", ms(10), spec())]
+        with pytest.raises(EncodingError):
+            SynthesisProblem(net, apps, delays)
+        apps = [ControlApplication("a", "S0", "S1", ms(10), spec())]
+        with pytest.raises(EncodingError):
+            SynthesisProblem(net, apps, delays)
+
+    def test_empty_apps_rejected(self, net, delays):
+        with pytest.raises(EncodingError):
+            SynthesisProblem(net, [], delays)
+
+    def test_period_below_ld_rejected(self, net):
+        slow = DelayModel(sd=microseconds(5), ld=ms(20))
+        apps = [ControlApplication("a", "S0", "C0", ms(10), spec())]
+        with pytest.raises(EncodingError):
+            SynthesisProblem(net, apps, slow)
+
+    def test_require_stability_specs(self, net, delays):
+        apps = [ControlApplication("a", "S0", "C0", ms(10), None)]
+        prob = SynthesisProblem(net, apps, delays)
+        with pytest.raises(EncodingError):
+            prob.require_stability_specs()

@@ -1,0 +1,106 @@
+"""Tests for jitter-minimizing refinement and solution export."""
+
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    ControlApplication,
+    SynthesisOptions,
+    SynthesisProblem,
+    collect_violations,
+    minimize_jitter,
+    render_switch_configs,
+    solution_from_dict,
+    solution_to_dict,
+    synthesize,
+    validate_solution,
+)
+from repro.errors import ValidationError
+from repro.network import DelayModel, microseconds, simple_testbed
+from repro.stability import StabilitySpec
+
+
+def ms(x):
+    return Fraction(x) / 1000
+
+
+FAST = DelayModel(sd=microseconds(5), ld=Fraction(120, 1_000_000))
+
+
+def make_problem(n_apps=2, period_ms=5):
+    net = simple_testbed(n_apps)
+    apps = [
+        ControlApplication(
+            f"app{i}", f"S{i}", f"C{i}", ms(period_ms),
+            StabilitySpec.single_line("1.5", "0.004"),
+        )
+        for i in range(n_apps)
+    ]
+    return SynthesisProblem(net, apps, FAST)
+
+
+class TestMinimizeJitter:
+    def test_produces_valid_low_jitter_solution(self):
+        problem = make_problem(2)
+        baseline = synthesize(problem, SynthesisOptions(routes=2))
+        refined = minimize_jitter(problem, routes=2,
+                                  tolerance=Fraction(1, 100000))
+        assert refined.ok
+        validate_solution(refined.solution)
+        base_jitter = sum(r.jitter for r in baseline.solution.reports())
+        opt_jitter = sum(r.jitter for r in refined.solution.reports())
+        assert opt_jitter <= base_jitter
+        assert refined.total_jitter is not None
+        assert opt_jitter <= refined.total_jitter
+
+    def test_zero_jitter_achievable_on_uncontended_net(self):
+        # One app alone: every instance can use the same offsets -> J = 0.
+        problem = make_problem(1)
+        refined = minimize_jitter(problem, routes=2,
+                                  tolerance=Fraction(1, 10**6))
+        assert refined.ok
+        report = refined.solution.reports()[0]
+        assert report.jitter <= Fraction(1, 10**6)
+
+    def test_unsat_when_spec_impossible(self):
+        net = simple_testbed(1)
+        apps = [ControlApplication(
+            "a", "S0", "C0", ms(5),
+            StabilitySpec.single_line("1", str(float(FAST.ld))),
+        )]
+        problem = SynthesisProblem(net, apps, FAST)
+        refined = minimize_jitter(problem, routes=1)
+        assert refined.status == "unsat"
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def solution(self):
+        res = synthesize(make_problem(2), SynthesisOptions(routes=2))
+        return res.solution
+
+    def test_json_round_trip(self, solution):
+        data = solution_to_dict(solution)
+        text = json.dumps(data)          # must be JSON-serializable
+        rebuilt = solution_from_dict(solution.problem, json.loads(text))
+        assert set(rebuilt.schedules) == set(solution.schedules)
+        for uid in solution.schedules:
+            a, b = solution.schedules[uid], rebuilt.schedules[uid]
+            assert a.route == b.route
+            assert a.gammas == b.gammas
+            assert a.e2e == b.e2e
+        assert collect_violations(rebuilt) == []
+
+    def test_malformed_dict_rejected(self, solution):
+        with pytest.raises(ValidationError):
+            solution_from_dict(solution.problem, {"messages": {"x": {}}})
+
+    def test_render_switch_configs(self, solution):
+        text = render_switch_configs(solution)
+        assert "802.1Qbv configuration" in text
+        assert "gate control list" in text
+        # Every switch that forwards traffic appears.
+        for switch in solution.eta_tables():
+            assert f"switch {switch}:" in text

@@ -1,0 +1,39 @@
+"""Tests for the ASCII reporting helpers."""
+
+from repro.eval import format_scatter, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", "y"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[1.23456]])
+        assert "1.235" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestFormatSeries:
+    def test_contains_points(self):
+        text = format_series("T", {"s": [(1.0, 2.0), (3.0, 4.0)]}, "x", "y")
+        assert "T" in text
+        assert "[s]" in text
+        assert "1.000" in text and "4.0000" in text
+
+
+class TestFormatScatter:
+    def test_bins_and_means(self):
+        pts = [(float(i), float(i)) for i in range(10)]
+        text = format_scatter("S", {"a": pts}, "x", "y", bins=2)
+        assert "[a]" in text
+        assert "mean" in text
+
+    def test_empty_series(self):
+        text = format_scatter("S", {"a": []}, "x", "y")
+        assert "no data" in text

@@ -1,0 +1,97 @@
+"""Tests for the typed network graph."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.network import Network, NodeKind
+
+
+@pytest.fixture
+def small_net():
+    net = Network()
+    net.add_switch("SW0")
+    net.add_switch("SW1")
+    net.add_sensor("S0")
+    net.add_controller("C0")
+    net.add_link("S0", "SW0")
+    net.add_link("SW0", "SW1")
+    net.add_link("SW1", "C0")
+    return net
+
+
+class TestConstruction:
+    def test_node_kinds(self, small_net):
+        assert small_net.kind("SW0") == NodeKind.SWITCH
+        assert small_net.kind("S0") == NodeKind.SENSOR
+        assert small_net.kind("C0") == NodeKind.CONTROLLER
+
+    def test_duplicate_node_rejected(self, small_net):
+        with pytest.raises(TopologyError):
+            small_net.add_switch("SW0")
+        with pytest.raises(TopologyError):
+            small_net.add_sensor("SW0")
+
+    def test_self_loop_rejected(self, small_net):
+        with pytest.raises(TopologyError):
+            small_net.add_link("SW0", "SW0")
+
+    def test_duplicate_link_rejected(self, small_net):
+        with pytest.raises(TopologyError):
+            small_net.add_link("SW0", "SW1")
+        with pytest.raises(TopologyError):
+            small_net.add_link("SW1", "SW0")
+
+    def test_unknown_node_rejected(self, small_net):
+        with pytest.raises(TopologyError):
+            small_net.add_link("SW0", "nope")
+
+    def test_endpoint_to_endpoint_rejected(self, small_net):
+        with pytest.raises(TopologyError):
+            small_net.add_link("S0", "C0")
+
+
+class TestQueries:
+    def test_node_lists(self, small_net):
+        assert set(small_net.switches) == {"SW0", "SW1"}
+        assert small_net.sensors == ["S0"]
+        assert small_net.controllers == ["C0"]
+
+    def test_neighbors(self, small_net):
+        assert small_net.neighbors("SW0") == {"S0", "SW1"}
+        assert small_net.degree("SW1") == 2
+
+    def test_links_undirected(self, small_net):
+        assert len(small_net.links) == 3
+        assert small_net.num_links == 3
+        assert frozenset(("SW0", "SW1")) in small_net.links
+
+    def test_directed_links_both_ways(self, small_net):
+        dl = small_net.directed_links
+        assert ("SW0", "SW1") in dl and ("SW1", "SW0") in dl
+        assert len(dl) == 6
+
+    def test_contains(self, small_net):
+        assert "SW0" in small_net
+        assert "missing" not in small_net
+
+    def test_unknown_kind_raises(self, small_net):
+        with pytest.raises(TopologyError):
+            small_net.kind("missing")
+
+
+class TestConnectivity:
+    def test_connected(self, small_net):
+        assert small_net.connected()
+
+    def test_disconnected(self):
+        net = Network()
+        net.add_switch("A")
+        net.add_switch("B")
+        assert not net.connected()
+        assert len(net.components()) == 2
+
+    def test_copy_is_independent(self, small_net):
+        dup = small_net.copy()
+        dup.add_switch("SW9")
+        assert "SW9" not in small_net
+        assert "SW9" in dup

@@ -1,0 +1,110 @@
+"""Tests for the 802.1Qbv switch behavioural model."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.network import NUM_QUEUES, TT_QUEUE, TsnSwitch
+from repro.network.switch import EgressPort
+
+
+def us(x):
+    return Fraction(x, 1_000_000)
+
+
+@pytest.fixture
+def switch():
+    return TsnSwitch("SW0", ["SW1", "SW2", "C0"], forwarding_delay=us(5))
+
+
+class TestProgramming:
+    def test_program_and_lookup(self, switch):
+        switch.program("m#0", "SW1", us(100))
+        assert switch.eta["m#0"] == "SW1"
+        assert switch.gate_open_time("m#0") == us(100)
+
+    def test_program_unknown_port_rejected(self, switch):
+        with pytest.raises(SimulationError):
+            switch.program("m#0", "SW9", us(100))
+
+    def test_unprogrammed_message_rejected(self, switch):
+        with pytest.raises(SimulationError):
+            switch.receive("ghost#0", us(0))
+        with pytest.raises(SimulationError):
+            switch.gate_open_time("ghost#0")
+
+
+class TestForwarding:
+    def test_receive_applies_forwarding_delay(self, switch):
+        switch.program("m#0", "SW1", us(100))
+        out, enq = switch.receive("m#0", us(50))
+        assert out == "SW1"
+        assert enq == us(55)
+
+    def test_transmit_after_enqueue(self, switch):
+        switch.program("m#0", "SW1", us(100))
+        switch.receive("m#0", us(50))
+        assert switch.transmit("m#0", us(100)) == "SW1"
+
+    def test_gate_before_arrival_rejected(self, switch):
+        switch.program("m#0", "SW1", us(10))
+        switch.receive("m#0", us(50))  # enqueued at 55 > gate 10
+        with pytest.raises(SimulationError):
+            switch.transmit("m#0", us(10))
+
+    def test_transmit_unqueued_frame_rejected(self, switch):
+        switch.program("m#0", "SW1", us(100))
+        with pytest.raises(SimulationError):
+            switch.transmit("m#0", us(100))
+
+
+class TestEgressPort:
+    def test_queue_bounds(self):
+        port = EgressPort("SW0:SW1", "SW1")
+        with pytest.raises(SimulationError):
+            port.enqueue("m#0", us(0), queue=NUM_QUEUES)
+
+    def test_dequeue_missing_raises(self):
+        port = EgressPort("SW0:SW1", "SW1")
+        with pytest.raises(SimulationError):
+            port.dequeue("m#0")
+
+    def test_fifo_contents(self):
+        port = EgressPort("SW0:SW1", "SW1")
+        port.enqueue("a", us(1))
+        port.enqueue("b", us(2))
+        assert [uid for _, uid in port.queued()] == ["a", "b"]
+        port.dequeue("a")
+        assert [uid for _, uid in port.queued()] == ["b"]
+
+
+class TestGcl:
+    def test_build_gcl_windows(self, switch):
+        hp = Fraction(1, 100)
+        ld = us(120)
+        switch.program("m#0", "SW1", us(100))
+        switch.program("m#1", "SW1", us(300))
+        switch.program("m#2", "SW2", us(100))
+        gcl = switch.build_gcl(ld, hp)
+        assert len(gcl["SW1"]) == 2
+        assert len(gcl["SW2"]) == 1
+        first = gcl["SW1"][0]
+        assert first.start == us(100)
+        assert first.end == us(220)
+        assert first.queue == TT_QUEUE
+
+    def test_build_gcl_detects_overlap(self, switch):
+        hp = Fraction(1, 100)
+        ld = us(120)
+        switch.program("m#0", "SW1", us(100))
+        switch.program("m#1", "SW1", us(150))  # overlaps previous window
+        with pytest.raises(SimulationError):
+            switch.build_gcl(ld, hp)
+
+    def test_gcl_wraps_modulo_hyperperiod(self, switch):
+        hp = Fraction(1, 100)  # 10 ms
+        ld = us(120)
+        switch.program("m#0", "SW1", Fraction(1, 100) + us(100))
+        gcl = switch.build_gcl(ld, hp)
+        assert gcl["SW1"][0].start == us(100)

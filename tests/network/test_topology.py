@@ -1,0 +1,104 @@
+"""Tests for topology generators."""
+
+import random
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.network import (
+    attach_endpoints,
+    erdos_renyi_topology,
+    gm_topology,
+    grid_topology,
+    line_topology,
+    random_network,
+    ring_topology,
+    shortest_path,
+    simple_testbed,
+    star_topology,
+)
+
+
+class TestErdosRenyi:
+    def test_connected_repair(self):
+        rng = random.Random(1)
+        net = erdos_renyi_topology(12, 0.05, rng)
+        assert net.connected()
+        assert len(net.switches) == 12
+
+    def test_deterministic_given_seed(self):
+        n1 = random_network(10, 3, 3, p=0.3, seed=42)
+        n2 = random_network(10, 3, 3, p=0.3, seed=42)
+        assert sorted(map(tuple, (sorted(l) for l in n1.links))) == sorted(
+            map(tuple, (sorted(l) for l in n2.links))
+        )
+
+    def test_p_one_is_complete(self):
+        rng = random.Random(0)
+        net = erdos_renyi_topology(5, 1.0, rng)
+        assert net.num_links == 10
+
+    def test_rejects_zero_switches(self):
+        with pytest.raises(TopologyError):
+            erdos_renyi_topology(0, 0.5, random.Random(0))
+
+    def test_attach_endpoints_counts(self):
+        rng = random.Random(3)
+        net = erdos_renyi_topology(6, 0.4, rng)
+        attach_endpoints(net, 4, 5, rng)
+        assert len(net.sensors) == 4
+        assert len(net.controllers) == 5
+        for s in net.sensors:
+            assert net.degree(s) == 1
+
+
+class TestGmTopology:
+    def test_paper_fig1_shape(self):
+        net = gm_topology(3, 3)
+        assert len(net.switches) == 8
+        assert len(net.sensors) == 3
+        assert len(net.controllers) == 3
+        assert net.num_nodes == 14  # matches Fig. 1 caption
+        assert net.connected()
+
+    def test_table1_variant(self):
+        net = gm_topology(20, 20)
+        assert len(net.sensors) == 20
+        assert len(net.controllers) == 20
+        assert net.connected()
+        # Each pair must have at least 3 routes (Table I uses 3 candidates).
+        from repro.network import k_shortest_paths
+
+        routes = k_shortest_paths(net, "S0", "C0", 3)
+        assert len(routes) == 3
+
+
+class TestRegularFamilies:
+    def test_line(self):
+        net = line_topology(4)
+        assert net.num_links == 3
+
+    def test_ring(self):
+        net = ring_topology(5)
+        assert net.num_links == 5
+        assert net.connected()
+
+    def test_ring_too_small(self):
+        with pytest.raises(TopologyError):
+            ring_topology(2)
+
+    def test_star(self):
+        net = star_topology(6)
+        assert net.num_links == 6
+        assert net.degree("HUB") == 6
+
+    def test_grid(self):
+        net = grid_topology(3, 4)
+        assert len(net.switches) == 12
+        assert net.num_links == 3 * 3 + 4 * 2
+
+    def test_simple_testbed_has_redundant_routes(self):
+        net = simple_testbed(2)
+        for i in range(2):
+            p = shortest_path(net, f"S{i}", f"C{i}")
+            assert p is not None

@@ -1,0 +1,55 @@
+"""Tests for DIMACS parsing/writing."""
+
+import io
+
+import pytest
+
+from repro.errors import SolverError
+from repro.sat import load_dimacs, parse_dimacs, write_dimacs
+
+
+EXAMPLE = """\
+c a comment
+p cnf 3 4
+1 -2 0
+2 3 0
+-1 -3 0
+-2 0
+"""
+
+
+def test_parse_example():
+    num_vars, clauses = parse_dimacs(EXAMPLE)
+    assert num_vars == 3
+    assert clauses == [[1, -2], [2, 3], [-1, -3], [-2]]
+
+
+def test_parse_multiline_clause():
+    num_vars, clauses = parse_dimacs("p cnf 2 1\n1\n2 0\n")
+    assert clauses == [[1, 2]]
+
+
+def test_parse_rejects_bad_problem_line():
+    with pytest.raises(SolverError):
+        parse_dimacs("p cnf 3\n1 0\n")
+
+
+def test_load_and_solve():
+    solver = load_dimacs(EXAMPLE)
+    assert solver.solve()
+    model = set(solver.model())
+    assert -2 in model
+
+
+def test_load_unsat():
+    text = "p cnf 1 2\n1 0\n-1 0\n"
+    solver = load_dimacs(text)
+    assert not solver.solve()
+
+
+def test_write_roundtrip():
+    buf = io.StringIO()
+    write_dimacs(3, [[1, -2], [3]], buf)
+    num_vars, clauses = parse_dimacs(buf.getvalue())
+    assert num_vars == 3
+    assert clauses == [[1, -2], [3]]

@@ -1,0 +1,69 @@
+"""Tests for the linear-objective minimization layer."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import SolverError
+from repro.smt import Bool, Implies, Not, Or, Real, minimize
+
+
+class TestMinimize:
+    def test_simple_bound(self):
+        x = Real("ox")
+        res = minimize([x >= 3, x <= 10], x, lower_bound=0,
+                       tolerance=Fraction(1, 100))
+        assert res.ok
+        assert abs(res.objective_bound - 3) <= Fraction(1, 100)
+
+    def test_unsat(self):
+        x = Real("oy")
+        res = minimize([x >= 3, x <= 2], x)
+        assert res.status == "unsat"
+        assert res.model is None
+
+    def test_already_at_lower_bound(self):
+        x = Real("oz")
+        res = minimize([x >= 0, x <= 5, x <= 0], x, lower_bound=0)
+        assert res.status == "optimal"
+        assert res.objective_bound == 0
+        assert res.probes == 1
+
+    def test_linear_combination_objective(self):
+        x, y = Real("oa"), Real("ob")
+        res = minimize([x >= 1, y >= 2, x + y <= 10], x + 2 * y,
+                       lower_bound=0, tolerance=Fraction(1, 100))
+        assert res.ok
+        # Optimum is x=1, y=2 -> 5.
+        assert abs(res.objective_bound - 5) <= Fraction(1, 10)
+
+    def test_disjunctive_objective(self):
+        """Minimization must pick the cheaper disjunct."""
+        x = Real("oc")
+        g = Bool("og")
+        res = minimize(
+            [Or(g, Not(g)), Implies(g, x >= 10), Implies(Not(g), x >= 4),
+             x <= 100],
+            x, lower_bound=0, tolerance=Fraction(1, 100),
+        )
+        assert res.ok
+        assert abs(res.objective_bound - 4) <= Fraction(1, 10)
+
+    def test_model_achieves_bound(self):
+        x = Real("od")
+        res = minimize([x >= Fraction(7, 3), x <= 50], x,
+                       tolerance=Fraction(1, 1000))
+        assert res.ok
+        assert res.model[x] == res.objective_bound
+
+    def test_probe_budget_respected(self):
+        x = Real("oe")
+        res = minimize([x >= 1, x <= 1000], x, tolerance=Fraction(1, 10**9),
+                       max_probes=3)
+        assert res.probes <= 3
+        assert res.ok  # still returns the best found
+
+    def test_invalid_tolerance(self):
+        x = Real("of")
+        with pytest.raises(SolverError):
+            minimize([x >= 1, x <= 2], x, tolerance=0)

@@ -1,0 +1,86 @@
+"""Tests for delta-rational arithmetic and materialization."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.smt import DeltaRational, materialize_delta
+
+
+rationals = st.fractions(
+    min_value=Fraction(-100), max_value=Fraction(100), max_denominator=20
+)
+
+
+class TestArithmetic:
+    def test_add(self):
+        a = DeltaRational(1, 1) + DeltaRational(2, -3)
+        assert a.real == 3 and a.delta == -2
+
+    def test_sub(self):
+        a = DeltaRational(5) - DeltaRational(2, 1)
+        assert a.real == 3 and a.delta == -1
+
+    def test_neg(self):
+        a = -DeltaRational(1, -2)
+        assert a.real == -1 and a.delta == 2
+
+    def test_scalar_mul(self):
+        a = DeltaRational(2, 3) * Fraction(1, 2)
+        assert a.real == 1 and a.delta == Fraction(3, 2)
+
+    def test_int_coercion(self):
+        assert DeltaRational(1) + 2 == DeltaRational(3)
+
+
+class TestOrdering:
+    def test_real_dominates(self):
+        assert DeltaRational(1, 100) < DeltaRational(2, -100)
+
+    def test_delta_breaks_ties(self):
+        assert DeltaRational(1, -1) < DeltaRational(1, 0) < DeltaRational(1, 1)
+
+    def test_strict_less_semantics(self):
+        # x < 3 is modeled as x <= 3 - delta, which is < 3.
+        assert DeltaRational(3, -1) < DeltaRational(3)
+
+    @given(rationals, rationals, rationals, rationals)
+    def test_total_order(self, a, b, c, d):
+        x, y = DeltaRational(a, b), DeltaRational(c, d)
+        assert (x < y) + (x == y) + (x > y) == 1
+
+
+class TestMaterialize:
+    def test_empty_pairs(self):
+        assert materialize_delta([]) == 1
+
+    def test_strict_gap_preserved(self):
+        lo = DeltaRational(0, 1)   # > 0
+        hi = DeltaRational(1)      # <= 1
+        eps = materialize_delta([(lo, hi)])
+        assert 0 < lo.real + lo.delta * eps <= 1
+
+    def test_tight_strict_pair(self):
+        # value v with 3 < v (i.e. lo = 3 + d) and beta = 3 + d
+        lo = DeltaRational(3, 1)
+        beta = DeltaRational(3, 1)
+        eps = materialize_delta([(lo, beta)])
+        assert beta.real + beta.delta * eps > 3
+
+    def test_infeasible_order_raises(self):
+        with pytest.raises(ValueError):
+            materialize_delta([(DeltaRational(1, 1), DeltaRational(1, 0))])
+
+    @given(st.lists(st.tuples(rationals, rationals, rationals, rationals), max_size=8))
+    def test_materialization_preserves_order(self, quads):
+        pairs = []
+        for a, b, c, d in quads:
+            lo, hi = DeltaRational(a, b), DeltaRational(c, d)
+            if lo <= hi:
+                pairs.append((lo, hi))
+        eps = materialize_delta(pairs)
+        assert eps > 0
+        for lo, hi in pairs:
+            assert lo.real + lo.delta * eps <= hi.real + hi.delta * eps

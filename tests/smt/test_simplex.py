@@ -1,0 +1,202 @@
+"""Tests for the exact rational simplex, incl. a scipy.linprog oracle."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linprog
+
+from repro.smt import DeltaRational, Simplex
+
+
+def dr(x, d=0):
+    return DeltaRational(x, d)
+
+
+class TestBounds:
+    def test_simple_feasible(self):
+        sx = Simplex()
+        x = sx.new_var()
+        assert sx.assert_lower(x, dr(1), 2) is None
+        assert sx.assert_upper(x, dr(3), 4) is None
+        assert sx.check() is None
+        assert dr(1) <= sx.value(x) <= dr(3)
+
+    def test_contradicting_bounds(self):
+        sx = Simplex()
+        x = sx.new_var()
+        assert sx.assert_lower(x, dr(5), 2) is None
+        conflict = sx.assert_upper(x, dr(3), 4)
+        assert set(conflict) == {2, 4}
+
+    def test_strict_bounds_feasible(self):
+        sx = Simplex()
+        x = sx.new_var()
+        assert sx.assert_lower(x, dr(1, 1), 2) is None  # x > 1
+        assert sx.assert_upper(x, dr(1 + 2, -1), 4) is None  # x < 3
+        assert sx.check() is None
+        model = sx.model()
+        assert 1 < model[x] < 3
+
+    def test_strict_empty_interval(self):
+        sx = Simplex()
+        x = sx.new_var()
+        assert sx.assert_lower(x, dr(1, 1), 2) is None  # x > 1
+        conflict = sx.assert_upper(x, dr(1), 4)  # x <= 1
+        assert conflict is not None
+
+
+class TestRows:
+    def test_sum_row(self):
+        sx = Simplex()
+        x, y = sx.new_var(), sx.new_var()
+        s = sx.add_row({x: Fraction(1), y: Fraction(1)})  # s = x + y
+        assert sx.assert_lower(x, dr(1), 2) is None
+        assert sx.assert_lower(y, dr(2), 4) is None
+        assert sx.assert_upper(s, dr(2), 6) is not None or sx.check() is not None
+
+    def test_difference_chain_conflict(self):
+        sx = Simplex()
+        x, y, z = (sx.new_var() for _ in range(3))
+        d1 = sx.add_row({x: Fraction(1), y: Fraction(-1)})  # x - y
+        d2 = sx.add_row({y: Fraction(1), z: Fraction(-1)})  # y - z
+        d3 = sx.add_row({x: Fraction(1), z: Fraction(-1)})  # x - z
+        assert sx.assert_lower(d1, dr(1), 2) is None  # x - y >= 1
+        assert sx.assert_lower(d2, dr(1), 4) is None  # y - z >= 1
+        res = sx.assert_upper(d3, dr(1), 6)  # x - z <= 1
+        if res is None:
+            res = sx.check()
+        assert res is not None
+        assert set(res) <= {2, 4, 6}
+        assert 6 in set(res)
+
+    def test_general_coefficients(self):
+        sx = Simplex()
+        lmin, lmax = sx.new_var(), sx.new_var()
+        alpha = Fraction(3, 2)
+        combo = sx.add_row({lmin: 1 - alpha, lmax: alpha})
+        # Pin lmin exactly (upper bound too): otherwise growing lmin would
+        # relax the combination, which has a negative lmin coefficient.
+        assert sx.assert_lower(lmin, dr(10), 2) is None
+        assert sx.assert_upper(lmin, dr(10), 3) is None
+        assert sx.assert_lower(lmax, dr(12), 4) is None
+        # (1-1.5)*10 + 1.5*12 = -5 + 18 = 13 > 12.9 -> conflict
+        res = sx.assert_upper(combo, dr(Fraction(129, 10)), 6)
+        if res is None:
+            res = sx.check()
+        assert res is not None
+
+    def test_row_over_basic_variable_substitution(self):
+        sx = Simplex()
+        x, y = sx.new_var(), sx.new_var()
+        s1 = sx.add_row({x: Fraction(1), y: Fraction(1)})
+        # Second row mentions the (basic) slack s1 indirectly via x+y again.
+        s2 = sx.add_row({x: Fraction(2), y: Fraction(2)})
+        assert sx.assert_upper(s1, dr(1), 2) is None
+        assert sx.assert_lower(s2, dr(4), 4) is None
+        res = sx.check()
+        assert res is not None
+
+    def test_model_respects_rows(self):
+        sx = Simplex()
+        x, y = sx.new_var(), sx.new_var()
+        s = sx.add_row({x: Fraction(1), y: Fraction(2)})
+        sx.assert_lower(x, dr(1), 2)
+        sx.assert_upper(y, dr(0), 4)
+        sx.assert_lower(s, dr(-3), 6)
+        assert sx.check() is None
+        m = sx.model()
+        assert m[s] == m[x] + 2 * m[y]
+
+
+class TestBacktracking:
+    def test_undo_bound(self):
+        sx = Simplex()
+        x = sx.new_var()
+        assert sx.assert_lower(x, dr(0), 2) is None
+        mark = sx.mark()
+        assert sx.assert_lower(x, dr(10), 4) is None
+        conflict = sx.assert_upper(x, dr(5), 6)
+        assert conflict is not None
+        sx.undo_to(mark)
+        assert sx.assert_upper(x, dr(5), 6) is None
+        assert sx.check() is None
+
+    def test_pivots_survive_backtracking(self):
+        sx = Simplex()
+        x, y = sx.new_var(), sx.new_var()
+        s = sx.add_row({x: Fraction(1), y: Fraction(1)})
+        mark = sx.mark()
+        sx.assert_lower(s, dr(2), 2)
+        assert sx.check() is None
+        sx.undo_to(mark)
+        sx.assert_upper(s, dr(-2), 4)
+        assert sx.check() is None
+        assert sx.assignment_consistent()
+
+
+@st.composite
+def lp_problems(draw):
+    n_vars = draw(st.integers(min_value=1, max_value=4))
+    n_cons = draw(st.integers(min_value=1, max_value=6))
+    rows = []
+    for _ in range(n_cons):
+        coeffs = [
+            draw(st.integers(min_value=-3, max_value=3)) for _ in range(n_vars)
+        ]
+        rhs = draw(st.integers(min_value=-6, max_value=6))
+        rows.append((coeffs, rhs))
+    return n_vars, rows
+
+
+@given(lp_problems())
+@settings(max_examples=150, deadline=None)
+def test_feasibility_matches_scipy_linprog(problem):
+    """Conjunction of <= constraints: simplex verdict == scipy verdict."""
+    n_vars, rows = problem
+    sx = Simplex()
+    xs = [sx.new_var() for _ in range(n_vars)]
+    conflict = None
+    for i, (coeffs, rhs) in enumerate(rows):
+        nonzero = {xs[j]: Fraction(c) for j, c in enumerate(coeffs) if c != 0}
+        if not nonzero:
+            if rhs < 0:
+                conflict = [0]
+            continue
+        if len(nonzero) == 1:
+            (var, c), = nonzero.items()
+            bound = Fraction(rhs) / c
+            res = (
+                sx.assert_upper(var, dr(bound), 2 * i + 2)
+                if c > 0
+                else sx.assert_lower(var, dr(bound), 2 * i + 2)
+            )
+        else:
+            s = sx.add_row(nonzero)
+            res = sx.assert_upper(s, dr(rhs), 2 * i + 2)
+        if res is not None:
+            conflict = res
+            break
+    if conflict is None:
+        conflict = sx.check()
+    ours_feasible = conflict is None
+
+    a_ub = np.array([coeffs for coeffs, _ in rows], dtype=float)
+    b_ub = np.array([rhs for _, rhs in rows], dtype=float)
+    lp = linprog(
+        c=np.zeros(n_vars),
+        A_ub=a_ub,
+        b_ub=b_ub,
+        bounds=[(None, None)] * n_vars,
+        method="highs",
+    )
+    scipy_feasible = lp.status == 0
+    assert ours_feasible == scipy_feasible
+
+    if ours_feasible:
+        model = sx.model()
+        for coeffs, rhs in rows:
+            total = sum(Fraction(c) * model[xs[j]] for j, c in enumerate(coeffs))
+            assert total <= rhs

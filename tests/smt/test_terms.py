@@ -1,0 +1,189 @@
+"""Tests for the term language (linear normal form, formula builders)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import SolverError
+from repro.smt import (
+    And,
+    Atom,
+    Bool,
+    BoolVal,
+    ExactlyOne,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Real,
+    RealVal,
+    Sum,
+)
+from repro.smt.terms import AndExpr, BoolConst, LinExpr, NotExpr, OrExpr, RealVar
+
+
+class TestLinExpr:
+    def test_variable_identity(self):
+        assert Real("x").coeffs == Real("x").coeffs
+        assert RealVar("x") is RealVar("x")
+
+    def test_addition_merges_coefficients(self):
+        x, y = Real("x"), Real("y")
+        e = x + y + x
+        assert e.coeffs[RealVar("x")] == 2
+        assert e.coeffs[RealVar("y")] == 1
+
+    def test_subtraction_cancels(self):
+        x = Real("x")
+        e = x - x
+        assert e.is_constant()
+        assert e.const == 0
+
+    def test_scalar_multiplication(self):
+        x = Real("x")
+        e = 3 * x + 1
+        assert e.coeffs[RealVar("x")] == 3
+        assert e.const == 1
+
+    def test_fraction_coefficients(self):
+        x = Real("x")
+        e = Fraction(1, 3) * x
+        assert e.coeffs[RealVar("x")] == Fraction(1, 3)
+
+    def test_division(self):
+        x = Real("x")
+        e = (2 * x) / 4
+        assert e.coeffs[RealVar("x")] == Fraction(1, 2)
+
+    def test_nonlinear_product_rejected(self):
+        x, y = Real("x"), Real("y")
+        with pytest.raises(SolverError):
+            _ = x * y
+
+    def test_evaluate(self):
+        x, y = Real("x"), Real("y")
+        e = 2 * x - y + 5
+        val = e.evaluate({RealVar("x"): Fraction(3), RealVar("y"): Fraction(1)})
+        assert val == 10
+
+    def test_sum_helper(self):
+        x, y = Real("x"), Real("y")
+        e = Sum(x, y, 1, [x, 2])
+        assert e.coeffs[RealVar("x")] == 2
+        assert e.const == 3
+
+
+class TestAtoms:
+    def test_le_builds_atom(self):
+        x, y = Real("x"), Real("y")
+        a = x - y <= 3
+        assert isinstance(a, Atom)
+        assert not a.strict
+        assert a.rhs == 3
+
+    def test_lt_is_strict(self):
+        x = Real("x")
+        a = x < 2
+        assert isinstance(a, Atom)
+        assert a.strict
+
+    def test_ge_normalizes_to_le(self):
+        x, y = Real("x"), Real("y")
+        a = x - y >= 3
+        # Normalized to y - x <= -3.
+        assert isinstance(a, Atom)
+        coeffs = dict((v.name, c) for v, c in a.coeffs)
+        assert coeffs == {"x": -1, "y": 1}
+        assert a.rhs == -3
+
+    def test_constant_comparison_folds(self):
+        assert (RealVal(1) <= RealVal(2)) is BoolVal(True).__class__(True) or True
+        a = RealVal(1) <= 2
+        assert isinstance(a, BoolConst) and a.value
+        b = RealVal(5) < 2
+        assert isinstance(b, BoolConst) and not b.value
+
+    def test_eq_builds_conjunction(self):
+        x = Real("x")
+        f = x == 3
+        assert isinstance(f, AndExpr)
+
+    def test_ne_builds_disjunction(self):
+        x = Real("x")
+        f = x != 3
+        assert isinstance(f, OrExpr)
+
+    def test_atom_key_dedup(self):
+        x, y = Real("x"), Real("y")
+        a1 = x - y <= 3
+        a2 = x - y <= 3
+        assert a1.key == a2.key
+
+    def test_atom_evaluate(self):
+        x = Real("x")
+        a = x <= 3
+        assert a.evaluate({RealVar("x"): Fraction(3)})
+        s = x < 3
+        assert not s.evaluate({RealVar("x"): Fraction(3)})
+
+
+class TestBooleanBuilders:
+    def test_and_flattens_and_folds(self):
+        a, b = Bool("a"), Bool("b")
+        f = And(a, And(b, True))
+        assert isinstance(f, AndExpr)
+        assert len(f.args) == 2
+
+    def test_and_false_annihilates(self):
+        a = Bool("a")
+        f = And(a, False)
+        assert isinstance(f, BoolConst) and not f.value
+
+    def test_or_true_annihilates(self):
+        a = Bool("a")
+        f = Or(a, True)
+        assert isinstance(f, BoolConst) and f.value
+
+    def test_empty_and_is_true(self):
+        f = And()
+        assert isinstance(f, BoolConst) and f.value
+
+    def test_empty_or_is_false(self):
+        f = Or()
+        assert isinstance(f, BoolConst) and not f.value
+
+    def test_not_involution(self):
+        a = Bool("a")
+        assert Not(Not(a)) is a
+
+    def test_implies_expands(self):
+        a, b = Bool("a"), Bool("b")
+        f = Implies(a, b)
+        assert isinstance(f, OrExpr)
+
+    def test_iff_expands(self):
+        a, b = Bool("a"), Bool("b")
+        f = Iff(a, b)
+        assert isinstance(f, AndExpr)
+
+    def test_single_arg_collapse(self):
+        a = Bool("a")
+        assert And(a) is a
+        assert Or(a) is a
+
+    def test_exactly_one_structure(self):
+        a, b, c = Bool("a"), Bool("b"), Bool("c")
+        f = ExactlyOne(a, b, c)
+        assert isinstance(f, AndExpr)
+
+    def test_operator_overloads(self):
+        a, b = Bool("a"), Bool("b")
+        assert isinstance(a & b, AndExpr)
+        assert isinstance(a | b, OrExpr)
+        assert isinstance(~a, NotExpr)
+
+    def test_list_argument_flattening(self):
+        bools = [Bool(f"v{i}") for i in range(3)]
+        f = Or(bools)
+        assert isinstance(f, OrExpr)
+        assert len(f.args) == 3

@@ -1,0 +1,113 @@
+"""Tests for the jitter-margin criterion."""
+
+import numpy as np
+import pytest
+
+from repro.control import (
+    StateSpace,
+    design_lqg,
+    plant_database,
+    simulate_with_delays,
+    tf_to_ss,
+)
+from repro.control.plants import paper_controller
+from repro.errors import StabilityAnalysisError
+from repro.stability import delay_margin, jitter_margin, nominal_loop_stable
+
+
+@pytest.fixture(scope="module")
+def servo():
+    spec = [s for s in plant_database() if s.name == "dc_servo"][0]
+    return spec.system, paper_controller(spec), spec.nominal_period
+
+
+class TestNominalStability:
+    def test_zero_latency_stable(self, servo):
+        plant, ctrl, h = servo
+        assert nominal_loop_stable(plant, ctrl, h, 0.0)
+
+    def test_large_latency_unstable(self, servo):
+        plant, ctrl, h = servo
+        assert not nominal_loop_stable(plant, ctrl, h, 5 * h)
+
+    def test_negative_latency_rejected(self, servo):
+        plant, ctrl, h = servo
+        with pytest.raises(StabilityAnalysisError):
+            nominal_loop_stable(plant, ctrl, h, -0.001)
+
+
+class TestDelayMargin:
+    def test_servo_delay_margin_between_2h_and_3h(self, servo):
+        plant, ctrl, h = servo
+        dm = delay_margin(plant, ctrl, h)
+        assert 2 * h < dm < 3.5 * h
+
+    def test_boundary_is_tight(self, servo):
+        plant, ctrl, h = servo
+        dm = delay_margin(plant, ctrl, h)
+        assert nominal_loop_stable(plant, ctrl, h, dm * 0.999)
+        assert not nominal_loop_stable(plant, ctrl, h, dm * 1.01)
+
+    def test_unstable_at_zero_returns_zero(self, servo):
+        plant, _, h = servo
+        bad_ctrl = StateSpace([[0.0]], [[0.0]], [[0.0]], [[0.0]], dt=h)
+        assert delay_margin(plant, bad_ctrl, h) == 0.0
+
+
+class TestJitterMargin:
+    def test_positive_at_zero_latency(self, servo):
+        plant, ctrl, h = servo
+        jm = jitter_margin(plant, ctrl, h, 0.0)
+        assert jm > 0
+        # Paper Fig. 3 shows a margin on the order of the period.
+        assert 0.5 * h < jm < 3 * h
+
+    def test_decreases_near_boundary(self, servo):
+        plant, ctrl, h = servo
+        dm = delay_margin(plant, ctrl, h)
+        jm_near = jitter_margin(plant, ctrl, h, 0.9 * dm, stability_boundary=dm)
+        jm_zero = jitter_margin(plant, ctrl, h, 0.0, stability_boundary=dm)
+        assert jm_near < jm_zero
+        assert jm_near <= 0.1 * dm + 1e-12
+
+    def test_zero_beyond_boundary(self, servo):
+        plant, ctrl, h = servo
+        dm = delay_margin(plant, ctrl, h)
+        assert jitter_margin(plant, ctrl, h, dm * 1.05) == 0.0
+
+    def test_respects_constant_delay_cap(self, servo):
+        plant, ctrl, h = servo
+        dm = delay_margin(plant, ctrl, h)
+        for frac in (0.0, 0.3, 0.7):
+            L = frac * dm
+            jm = jitter_margin(plant, ctrl, h, L, stability_boundary=dm)
+            assert L + jm <= dm + 1e-12
+
+    def test_requires_continuous_plant(self, servo):
+        plant, ctrl, h = servo
+        with pytest.raises(StabilityAnalysisError):
+            jitter_margin(StateSpace([[0.5]], [[1]], [[1]], [[0]], dt=h), ctrl, h)
+
+    def test_requires_discrete_controller(self, servo):
+        plant, _, h = servo
+        with pytest.raises(StabilityAnalysisError):
+            jitter_margin(plant, plant, h)
+
+
+class TestEmpiricalSoundness:
+    """The margin must be *sufficient*: simulated loops inside the claimed
+    region stay bounded even under adversarial jitter patterns."""
+
+    @pytest.mark.parametrize("spec", plant_database(), ids=lambda s: s.name)
+    def test_simulation_stable_inside_margin(self, spec):
+        plant, h = spec.system, spec.nominal_period
+        ctrl = paper_controller(spec)
+        jm = jitter_margin(plant, ctrl, h, 0.0)
+        if jm <= 0:
+            pytest.skip("no margin to exercise")
+        J = min(0.8 * jm, 0.9 * h)  # simulator needs delays <= h
+        rng = np.random.default_rng(0)
+        # Adversarial-ish pattern: alternate extremes plus random fill.
+        pattern = [0.0, J] * 10 + list(rng.uniform(0, J, size=20))
+        res = simulate_with_delays(plant, ctrl, h, pattern, n_steps=2000)
+        assert res.is_bounded(factor=50.0), spec.name
