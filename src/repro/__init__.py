@@ -27,6 +27,13 @@ from .errors import (
     ValidationError,
 )
 from .network import DelayModel, Flow, Network, gm_topology, simple_testbed
+from .portfolio import (
+    PortfolioResult,
+    Strategy,
+    StrategyResult,
+    default_portfolio,
+    synthesize_portfolio,
+)
 from .sim import simulate_solution
 from .stability import (
     StabilityCurve,
@@ -47,6 +54,7 @@ __all__ = [
     "MODE_DEADLINE",
     "MODE_STABILITY",
     "Network",
+    "PortfolioResult",
     "ReproError",
     "SimulationError",
     "Solution",
@@ -54,18 +62,22 @@ __all__ = [
     "StabilityAnalysisError",
     "StabilityCurve",
     "StabilitySpec",
+    "Strategy",
+    "StrategyResult",
     "SynthesisOptions",
     "SynthesisProblem",
     "SynthesisResult",
     "TopologyError",
     "ValidationError",
     "compute_stability_curve",
+    "default_portfolio",
     "fit_lower_bound",
     "gm_topology",
     "jitter_margin",
     "simple_testbed",
     "simulate_solution",
     "synthesize",
+    "synthesize_portfolio",
     "validate_solution",
     "__version__",
 ]

@@ -101,6 +101,9 @@ class Encoder:
         # Directed-link usage: (u, v) -> list of
         # (uid, guard BoolExpr or None, start-time LinExpr or Fraction)
         self._link_usage: Dict[Tuple[str, str], List] = {}
+        # Per-link count of usages already covered by emitted contention
+        # constraints, so incremental stages only pair *new* usages.
+        self._contention_done: Dict[Tuple[str, str], int] = {}
 
     # ------------------------------------------------------------------
     # Route candidates (Eq. 8 / route-subset heuristic)
@@ -186,6 +189,43 @@ class Encoder:
                 (fixed.uid, None, start)
             )
 
+    def freeze_message(self, plan: MessagePlan, model, pin: bool = True) -> FixedMessage:
+        """Extract ``plan``'s schedule from ``model`` and optionally pin it.
+
+        This is the incremental-synthesis freeze: instead of re-encoding a
+        solved message as constants in a fresh solver, the route selectors
+        and the selected route's release times are *asserted as equalities*
+        in the same solver, so later stages see the earlier schedule while
+        all learned clauses stay valid.  ``pin=False`` only extracts (used
+        for the final stage, where nothing solves after it).
+        """
+        selected = [r for r, sel in enumerate(plan.selectors) if model[sel]]
+        if len(selected) != 1:
+            raise EncodingError(
+                f"{plan.message.uid}: route selection not one-hot in model"
+            )
+        choice = selected[0]
+        route = plan.routes[choice]
+        gammas: Dict[str, Fraction] = {}
+        for node in route[1:-1]:
+            gammas[node] = model[plan.gammas[node]]
+        e2e = model[plan.e2e_by_route[choice]]
+        if pin:
+            self.solver.add(plan.selectors[choice])
+            for r, sel in enumerate(plan.selectors):
+                if r != choice:
+                    self.solver.add(Not(sel))
+            for node, value in gammas.items():
+                self.solver.add(plan.gammas[node] == value)
+        return FixedMessage(
+            uid=plan.message.uid,
+            app=plan.message.flow.name,
+            route=route,
+            gammas=gammas,
+            release=plan.message.release,
+            e2e=e2e,
+        )
+
     # ------------------------------------------------------------------
     # Contention-free constraints (Eq. 5)
     # ------------------------------------------------------------------
@@ -196,10 +236,23 @@ class Encoder:
         For each directed link and each pair of usages by *different*
         messages: if both routes are selected, their start times must be
         at least ``ld`` apart (the paper's Eq. 5 with uniform ``ld``).
+
+        The method is incremental: calling it again after more
+        ``encode_message`` calls only emits the pairs involving at least
+        one usage recorded since the previous call.
         """
         ld = self.problem.delays.ld
-        for usages in self._link_usage.values():
-            for (uid1, g1, t1), (uid2, g2, t2) in itertools.combinations(usages, 2):
+        for link, usages in self._link_usage.items():
+            done = self._contention_done.get(link, 0)
+            if done >= len(usages):
+                continue
+            pairs = (
+                (usages[i], usages[j])
+                for j in range(done, len(usages))
+                for i in range(j)
+            )
+            self._contention_done[link] = len(usages)
+            for (uid1, g1, t1), (uid2, g2, t2) in pairs:
                 if uid1 == uid2:
                     # Two candidate routes of the same message share a
                     # link prefix; selection is exclusive, no conflict.
@@ -226,6 +279,7 @@ class Encoder:
         self,
         app: ControlApplication,
         fixed_e2es: Sequence[Fraction] = (),
+        tag: Optional[str] = None,
     ) -> Tuple[LinExpr, LinExpr]:
         """Encode ``delta_i >= 0`` for one application.
 
@@ -237,16 +291,22 @@ class Encoder:
 
             l_lo <= Lmin <= l_hi  and  Lmin + alpha (Lmax - Lmin) <= beta
 
-        ``fixed_e2es`` carries the already-frozen messages of this app in
-        incremental synthesis.
+        ``fixed_e2es`` carries already-known constant delays (messages
+        frozen *outside* this encoder).  With a persistent encoder the
+        app's earlier-stage messages are instead covered by the plan loop
+        below: their selectors and gammas are pinned by
+        :meth:`freeze_message`, so their terms evaluate to the frozen
+        constants.  ``tag`` namespaces the ``Lmin``/``Lmax`` variables so
+        each incremental stage gets a fresh, tighter pair.
 
         Returns the ``(Lmin, Lmax)`` terms for model extraction.
         """
         spec = app.stability
         if spec is None:
             raise EncodingError(f"app {app.name!r} lacks a stability spec")
-        lmin = Real(f"{self._ns}/Lmin[{app.name}]")
-        lmax = Real(f"{self._ns}/Lmax[{app.name}]")
+        suffix = f"@{tag}" if tag else ""
+        lmin = Real(f"{self._ns}/Lmin[{app.name}]{suffix}")
+        lmax = Real(f"{self._ns}/Lmax[{app.name}]{suffix}")
 
         attain_min: List[BoolExpr] = []
         attain_max: List[BoolExpr] = []

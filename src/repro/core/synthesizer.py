@@ -8,12 +8,19 @@
 * **Incremental synthesis** (Sec. V-C-2): ``stages=S`` divides the
   hyper-period into S time slices; each stage solves only the messages
   released in its slice, with all earlier stages' routes and release
-  times frozen as constants.  Stability constraints for an application
-  are enforced in every stage that schedules one of its messages, over
-  all of its messages known so far — so by an application's last stage
-  the full Eq. (2) condition holds.  As the paper notes, the heuristics
-  explore a subset of the solution space and may fail on solvable
-  instances (evaluated in Fig. 5 / Fig. 6).
+  times frozen.  Stability constraints for an application are enforced
+  in every stage that schedules one of its messages, over all of its
+  messages known so far — so by an application's last stage the full
+  Eq. (2) condition holds.  As the paper notes, the heuristics explore
+  a subset of the solution space and may fail on solvable instances
+  (evaluated in Fig. 5 / Fig. 6).
+
+The whole run — however many stages — uses exactly **one** SMT solver
+and one encoder.  Each stage adds its slice's constraints on top of the
+previous ones, re-checks, and freezes the new messages by asserting
+their model values as equalities (:meth:`Encoder.freeze_message`), so
+clauses learned in earlier stages keep pruning later ones instead of
+being rebuilt from scratch per stage.
 """
 
 from __future__ import annotations
@@ -71,6 +78,8 @@ class SynthesisResult:
     stages_completed: int
     failed_stage: Optional[int] = None
     statistics: Dict[str, int] = field(default_factory=dict)
+    #: Per-solved-stage search-effort deltas (one entry per non-empty stage).
+    stage_statistics: List[Dict[str, int]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -102,30 +111,35 @@ def synthesize(
     slices = _slice_messages(problem, opts.stages)
     fixed: List[FixedMessage] = []
     stats: Dict[str, int] = {"conflicts": 0, "decisions": 0, "propagations": 0}
+    stage_stats: List[Dict[str, int]] = []
     stages_done = 0
+
+    # One solver and one encoder for the entire run: later stages extend
+    # the same formula, so learned clauses and theory state carry forward.
+    solver = Solver()
+    encoder = Encoder(problem, solver, opts.routes, opts.path_cutoff)
 
     for stage_idx, stage_messages in enumerate(slices):
         if not stage_messages:
             stages_done += 1
             continue
-        solver = Solver()
-        encoder = Encoder(problem, solver, opts.routes, opts.path_cutoff)
-        for m in stage_messages:
-            encoder.encode_message(m)
-        for fm in fixed:
-            encoder.add_fixed_message(fm)
+        new_plans = [encoder.encode_message(m) for m in stage_messages]
         encoder.add_contention_constraints()
 
         if opts.mode == MODE_STABILITY:
             stage_apps = {m.flow.name for m in stage_messages}
             for app_name in sorted(stage_apps):
-                app = problem.app_by_name[app_name]
-                fixed_e2es = [f.e2e for f in fixed if f.app == app_name]
-                encoder.add_stability_constraints(app, fixed_e2es)
+                # The plan loop inside covers the app's earlier-stage
+                # messages too: their variables are pinned by equalities.
+                encoder.add_stability_constraints(
+                    problem.app_by_name[app_name], tag=f"s{stage_idx}"
+                )
 
         result = solver.check()
+        delta = solver.last_check_statistics
+        stage_stats.append(delta)
         for key in stats:
-            stats[key] += solver.statistics.get(key, 0)
+            stats[key] += delta.get(key, 0)
         if result != sat:
             return SynthesisResult(
                 status="unsat",
@@ -134,31 +148,12 @@ def synthesize(
                 stages_completed=stages_done,
                 failed_stage=stage_idx,
                 statistics=stats,
+                stage_statistics=stage_stats,
             )
         model = solver.model()
-        for plan in encoder.plans.values():
-            selected = [
-                r for r, sel in enumerate(plan.selectors) if model[sel]
-            ]
-            if len(selected) != 1:
-                raise EncodingError(
-                    f"{plan.message.uid}: route selection not one-hot in model"
-                )
-            route = plan.routes[selected[0]]
-            gammas = {
-                node: model[plan.gammas[node]] for node in route[1:-1]
-            }
-            e2e = model[plan.e2e_by_route[selected[0]]]
-            fixed.append(
-                FixedMessage(
-                    uid=plan.message.uid,
-                    app=plan.message.flow.name,
-                    route=route,
-                    gammas=gammas,
-                    release=plan.message.release,
-                    e2e=e2e,
-                )
-            )
+        has_later_work = any(slices[stage_idx + 1:])
+        for plan in new_plans:
+            fixed.append(encoder.freeze_message(plan, model, pin=has_later_work))
         stages_done += 1
 
     elapsed = time.perf_counter() - t0
@@ -180,4 +175,5 @@ def synthesize(
         synthesis_time=elapsed,
         stages_completed=stages_done,
         statistics=stats,
+        stage_statistics=stage_stats,
     )

@@ -23,7 +23,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=("fig3", "fig4", "fig5", "fig6", "fig7", "table1", "all"),
+        choices=("fig3", "fig4", "fig5", "fig6", "fig7", "table1",
+                 "portfolio", "all"),
         help="which artifact to regenerate",
     )
     parser.add_argument("--problems", type=int, default=5,
@@ -45,6 +46,8 @@ def main(argv=None) -> int:
         "fig7": lambda: experiments.run_fig7(
             switch_counts=(6, 10, 14, 18), n_messages=24, n_apps=5),
         "table1": lambda: experiments.run_table1(n_apps=args.apps),
+        "portfolio": lambda: experiments.run_portfolio(
+            n_problems=args.problems, n_apps=args.apps),
     }
     names = list(runners) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -24,6 +24,7 @@ from ..core.synthesizer import (
     synthesize,
 )
 from ..core.validator import collect_violations
+from ..portfolio import PortfolioResult, Strategy, default_portfolio, synthesize_portfolio
 from ..stability.curve import StabilityCurve, compute_stability_curve
 from ..stability.piecewise import StabilitySpec, fit_lower_bound
 from . import workloads
@@ -241,6 +242,85 @@ def run_fig7(
         res = synthesize(problem, SynthesisOptions(routes=routes, stages=stages))
         times.append((n_switches, res.synthesis_time, res.status))
     return Fig7Result(times)
+
+
+# ---------------------------------------------------------------------------
+# Portfolio — race the heuristics instead of fixing one configuration
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PortfolioPoint:
+    seed: int
+    n_messages: int
+    winner: Optional[str]
+    time_s: float
+    statuses: Dict[str, str]           # strategy name -> terminal status
+    strategy_times: Dict[str, float]   # strategy name -> wall seconds
+
+
+@dataclass
+class PortfolioExperimentResult:
+    """Win/time attribution of the strategy race over random problems."""
+
+    points: List[PortfolioPoint]
+    win_counts: Dict[str, int]
+    solved: int
+
+    def render(self) -> str:
+        rows = [
+            (p.seed, p.n_messages, p.winner or "-", p.time_s)
+            for p in self.points
+        ]
+        body = format_table(["seed", "messages", "winner", "time (s)"], rows)
+        wins = format_table(
+            ["strategy", "wins"],
+            sorted(self.win_counts.items(), key=lambda kv: -kv[1]),
+        )
+        head = (
+            f"Portfolio race — {self.solved}/{len(self.points)} solved, "
+            "first-sat strategy per problem"
+        )
+        return "\n".join([head, body, "", wins])
+
+
+def run_portfolio(
+    n_problems: int = 5,
+    n_apps: int = 6,
+    strategies: Optional[Sequence[Strategy]] = None,
+    max_workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+    backend: str = "process",
+    seed0: int = 0,
+) -> PortfolioExperimentResult:
+    """Race the default (or given) portfolio over the Fig. 4/6 workload."""
+    entries = list(strategies) if strategies is not None else default_portfolio()
+    points: List[PortfolioPoint] = []
+    win_counts: Dict[str, int] = {s.name: 0 for s in entries}
+    solved = 0
+    for i in range(n_problems):
+        problem = workloads.random_problem(seed0 + i, n_apps=n_apps)
+        res: PortfolioResult = synthesize_portfolio(
+            problem, entries, max_workers=max_workers,
+            timeout=timeout, backend=backend,
+        )
+        if res.ok:
+            assert collect_violations(res.solution) == []
+            solved += 1
+            win_counts[res.winner] += 1
+        points.append(
+            PortfolioPoint(
+                seed=seed0 + i,
+                n_messages=problem.num_messages,
+                winner=res.winner,
+                time_s=res.total_time,
+                statuses={sr.name: sr.status for sr in res.strategy_results},
+                strategy_times={
+                    sr.name: sr.wall_time for sr in res.strategy_results
+                },
+            )
+        )
+    return PortfolioExperimentResult(points, win_counts, solved)
 
 
 # ---------------------------------------------------------------------------

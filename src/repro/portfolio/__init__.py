@@ -1,0 +1,36 @@
+"""Portfolio synthesis: race the paper's heuristics, first SAT wins.
+
+The paper evaluates its two scalability heuristics (route subsets,
+incremental stages) one configuration at a time; this subsystem runs a
+configurable set of them concurrently against the same problem and
+returns the first satisfiable schedule, cancelling the rest.  See
+:mod:`repro.portfolio.strategies` for the default strategy mix and
+:mod:`repro.portfolio.engine` for the racing machinery.
+"""
+
+from .engine import (
+    PortfolioResult,
+    STATUS_CANCELLED,
+    STATUS_ERROR,
+    STATUS_SAT,
+    STATUS_SKIPPED,
+    STATUS_TIMEOUT,
+    STATUS_UNSAT,
+    StrategyResult,
+    synthesize_portfolio,
+)
+from .strategies import Strategy, default_portfolio
+
+__all__ = [
+    "PortfolioResult",
+    "STATUS_CANCELLED",
+    "STATUS_ERROR",
+    "STATUS_SAT",
+    "STATUS_SKIPPED",
+    "STATUS_TIMEOUT",
+    "STATUS_UNSAT",
+    "Strategy",
+    "StrategyResult",
+    "default_portfolio",
+    "synthesize_portfolio",
+]

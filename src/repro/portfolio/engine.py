@@ -1,0 +1,347 @@
+"""Portfolio racing: run several synthesis strategies, first SAT wins.
+
+The engine launches one worker process per strategy (bounded by
+``max_workers``), watches their result pipes, and as soon as one reports
+a satisfiable schedule it terminates the rest — the classic SAT-portfolio
+scheme (each strategy explores a different slice of the search space, so
+the *minimum* of their runtimes is usually far below any fixed choice).
+
+Results always include one :class:`StrategyResult` per entered strategy,
+so experiment code can attribute wins, losses, and cancellations::
+
+    res = synthesize_portfolio(problem)
+    if res.ok:
+        print(res.winner, res.solution)
+    for sr in res.strategy_results:
+        print(sr.name, sr.status, f"{sr.wall_time:.2f}s", sr.statistics)
+
+Workers communicate over :class:`multiprocessing.Pipe`; the schedule
+travels back as plain :class:`~repro.core.solution.MessageSchedule`
+records and is re-attached to the caller's problem object, so no solver
+state ever crosses the process boundary.  ``backend="serial"`` runs the
+strategies in order in-process (deterministic, used on platforms without
+usable subprocesses); a failed process launch degrades to it
+automatically.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.solution import Solution
+from ..core.synthesizer import MODE_STABILITY, SynthesisResult, synthesize
+from .strategies import Strategy, default_portfolio
+
+#: Terminal per-strategy statuses.
+STATUS_SAT = "sat"
+STATUS_UNSAT = "unsat"
+STATUS_ERROR = "error"          # the worker raised / died
+STATUS_CANCELLED = "cancelled"  # lost the race, terminated
+STATUS_TIMEOUT = "timeout"      # still running at the deadline
+STATUS_SKIPPED = "skipped"      # never started (winner found first)
+
+
+@dataclass
+class StrategyResult:
+    """Outcome and accounting of one strategy's run in the race."""
+
+    name: str
+    status: str
+    wall_time: float                     # parent-observed elapsed seconds
+    synthesis_time: float = 0.0          # worker-measured solve time
+    stages_completed: int = 0
+    failed_stage: Optional[int] = None
+    statistics: Dict[str, int] = field(default_factory=dict)
+    error: Optional[str] = None
+
+
+@dataclass
+class PortfolioResult:
+    """Outcome of a portfolio race."""
+
+    status: str                          # "sat" or "unsat"
+    winner: Optional[str]                # name of the first sat strategy
+    solution: Optional[Solution]
+    total_time: float
+    strategy_results: List[StrategyResult]
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_SAT
+
+    def result_for(self, name: str) -> StrategyResult:
+        for sr in self.strategy_results:
+            if sr.name == name:
+                return sr
+        raise KeyError(f"no strategy named {name!r} in this portfolio")
+
+
+def synthesize_portfolio(
+    problem,
+    strategies: Optional[Sequence[Strategy]] = None,
+    mode: str = MODE_STABILITY,
+    max_workers: Optional[int] = None,
+    timeout: Optional[float] = None,
+    backend: str = "process",
+) -> PortfolioResult:
+    """Race ``strategies`` (default: :func:`default_portfolio`) on ``problem``.
+
+    Returns the first satisfiable strategy's solution; losers are
+    cancelled.  ``timeout`` bounds the race in seconds: the process
+    backend enforces it by terminating workers at the deadline, while
+    the serial backend can only check it *between* strategies (a running
+    in-process solve is not preemptible).
+    """
+    entries = list(strategies) if strategies is not None else default_portfolio(mode=mode)
+    if not entries:
+        raise ValueError("portfolio is empty: provide at least one strategy")
+    names = [s.name for s in entries]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate strategy names in portfolio: {names}")
+    if backend == "serial":
+        return _race_serial(problem, entries, timeout)
+    if backend != "process":
+        raise ValueError(f"unknown backend {backend!r} (use 'process' or 'serial')")
+    try:
+        return _race_processes(problem, entries, max_workers, timeout)
+    except OSError:
+        # No subprocess could be launched at all (restricted sandbox):
+        # degrade gracefully.  Launch failures *mid-race* are handled
+        # inside _race_processes and never reach this fallback.
+        return _race_serial(problem, entries, timeout)
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def _strategy_worker(conn, problem, strategy: Strategy) -> None:
+    """Run one strategy and ship a picklable result summary back."""
+    try:
+        result = synthesize(problem, strategy.options)
+        conn.send(_payload_of(result))
+    except Exception as exc:  # noqa: BLE001 - report, don't crash the race
+        try:
+            conn.send({"status": STATUS_ERROR,
+                       "error": f"{type(exc).__name__}: {exc}"})
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _payload_of(result: SynthesisResult) -> dict:
+    return {
+        "status": result.status,
+        "synthesis_time": result.synthesis_time,
+        "stages_completed": result.stages_completed,
+        "failed_stage": result.failed_stage,
+        "statistics": result.statistics,
+        "schedules": result.solution.schedules if result.ok else None,
+        "mode": result.solution.mode if result.ok else None,
+    }
+
+
+def _result_from_payload(
+    name: str, payload: dict, wall_time: float
+) -> StrategyResult:
+    return StrategyResult(
+        name=name,
+        status=payload["status"],
+        wall_time=wall_time,
+        synthesis_time=payload.get("synthesis_time", 0.0),
+        stages_completed=payload.get("stages_completed", 0),
+        failed_stage=payload.get("failed_stage"),
+        statistics=payload.get("statistics", {}),
+        error=payload.get("error"),
+    )
+
+
+def _solution_from_payload(problem, payload: dict, wall_time: float) -> Solution:
+    return Solution(
+        problem,
+        payload["schedules"],
+        synthesis_time=wall_time,
+        mode=payload["mode"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Process racing
+# ---------------------------------------------------------------------------
+
+
+def _race_processes(
+    problem,
+    entries: List[Strategy],
+    max_workers: Optional[int],
+    timeout: Optional[float],
+) -> PortfolioResult:
+    ctx = multiprocessing.get_context()
+    # Default to racing *every* strategy at once: a portfolio's value is the
+    # minimum of its entrants' runtimes, and even on few cores the OS
+    # timeshares far better than letting one slow strategy hog the lane.
+    # ``max_workers`` caps the fan-out for memory-constrained callers.
+    workers = max(1, min(len(entries), max_workers or len(entries)))
+    t0 = time.perf_counter()
+    deadline = t0 + timeout if timeout is not None else None
+
+    pending = list(enumerate(entries))          # not yet launched
+    running: Dict[int, tuple] = {}              # idx -> (proc, conn, start)
+    results: Dict[int, StrategyResult] = {}
+    winner_idx: Optional[int] = None
+    winner_payload: Optional[dict] = None
+    winner_wall = 0.0
+
+    def launch_available() -> None:
+        while pending and len(running) < workers:
+            idx, strategy = pending.pop(0)
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_strategy_worker,
+                args=(child_conn, problem, strategy),
+                name=f"portfolio-{strategy.name}",
+                daemon=True,
+            )
+            try:
+                proc.start()
+            except OSError as exc:
+                parent_conn.close()
+                child_conn.close()
+                if not running and not results:
+                    # Nothing launched yet: let the caller fall back to
+                    # the serial backend wholesale.
+                    raise
+                # Mid-race launch failure (e.g. EAGAIN near the process
+                # limit): record it and keep racing with what we have.
+                results[idx] = StrategyResult(
+                    name=strategy.name,
+                    status=STATUS_ERROR,
+                    wall_time=0.0,
+                    error=f"could not launch worker: {exc}",
+                )
+                continue
+            child_conn.close()
+            running[idx] = (proc, parent_conn, time.perf_counter())
+
+    def harvest(idx: int) -> None:
+        """Collect one finished worker's report (or its corpse)."""
+        nonlocal winner_idx, winner_payload, winner_wall
+        proc, conn, started = running.pop(idx)
+        wall = time.perf_counter() - started
+        try:
+            payload = conn.recv()
+        except (EOFError, OSError):
+            payload = {"status": STATUS_ERROR,
+                       "error": f"worker exited without a result "
+                                f"(exitcode={proc.exitcode})"}
+        conn.close()
+        proc.join()
+        results[idx] = _result_from_payload(entries[idx].name, payload, wall)
+        if winner_idx is None and payload["status"] == STATUS_SAT:
+            winner_idx, winner_payload, winner_wall = idx, payload, wall
+
+    launch_available()
+    timed_out = False
+    while running and winner_idx is None:
+        wait_for = 0.1
+        if deadline is not None:
+            wait_for = min(wait_for, max(0.0, deadline - time.perf_counter()))
+        ready = multiprocessing.connection.wait(
+            [conn for _, conn, _ in running.values()], timeout=wait_for
+        )
+        ready_set = set(ready)
+        # Harvest *every* ready worker before declaring the race over, so
+        # strategies that finished in the same poll window report their
+        # real status instead of being miscounted as cancelled (the
+        # winner is still the first sat in launch order).
+        for idx in sorted(running):
+            if running[idx][1] in ready_set:
+                harvest(idx)
+        if deadline is not None and time.perf_counter() >= deadline:
+            timed_out = True
+            break
+        if winner_idx is None:
+            launch_available()
+
+    # Race over: stop whoever is still working and account for everyone.
+    loser_status = STATUS_TIMEOUT if timed_out else STATUS_CANCELLED
+    for idx, (proc, conn, started) in list(running.items()):
+        proc.terminate()
+        proc.join()
+        conn.close()
+        results[idx] = StrategyResult(
+            name=entries[idx].name,
+            status=loser_status,
+            wall_time=time.perf_counter() - started,
+        )
+    for idx, strategy in pending:
+        results[idx] = StrategyResult(
+            name=strategy.name,
+            status=STATUS_TIMEOUT if timed_out else STATUS_SKIPPED,
+            wall_time=0.0,
+        )
+
+    total = time.perf_counter() - t0
+    solution = (
+        _solution_from_payload(problem, winner_payload, winner_wall)
+        if winner_payload is not None
+        else None
+    )
+    return PortfolioResult(
+        status=STATUS_SAT if winner_idx is not None else STATUS_UNSAT,
+        winner=entries[winner_idx].name if winner_idx is not None else None,
+        solution=solution,
+        total_time=total,
+        strategy_results=[results[i] for i in sorted(results)],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Serial fallback
+# ---------------------------------------------------------------------------
+
+
+def _race_serial(
+    problem,
+    entries: List[Strategy],
+    timeout: Optional[float],
+) -> PortfolioResult:
+    t0 = time.perf_counter()
+    deadline = t0 + timeout if timeout is not None else None
+    results: List[StrategyResult] = []
+    winner: Optional[str] = None
+    solution: Optional[Solution] = None
+
+    for i, strategy in enumerate(entries):
+        if winner is not None or (
+            deadline is not None and time.perf_counter() >= deadline
+        ):
+            status = STATUS_SKIPPED if winner is not None else STATUS_TIMEOUT
+            results.append(StrategyResult(strategy.name, status, 0.0))
+            continue
+        started = time.perf_counter()
+        try:
+            result = synthesize(problem, strategy.options)
+            payload = _payload_of(result)
+        except Exception as exc:  # noqa: BLE001 - keep racing
+            payload = {"status": STATUS_ERROR,
+                       "error": f"{type(exc).__name__}: {exc}"}
+        wall = time.perf_counter() - started
+        results.append(_result_from_payload(strategy.name, payload, wall))
+        if payload["status"] == STATUS_SAT:
+            winner = strategy.name
+            solution = _solution_from_payload(problem, payload, wall)
+
+    return PortfolioResult(
+        status=STATUS_SAT if winner is not None else STATUS_UNSAT,
+        winner=winner,
+        solution=solution,
+        total_time=time.perf_counter() - t0,
+        strategy_results=results,
+    )

@@ -1,0 +1,75 @@
+"""Strategy catalogue for portfolio synthesis.
+
+A *strategy* is just a named :class:`~repro.core.SynthesisOptions`
+configuration.  The default portfolio covers the paper's three regimes:
+
+* ``monolithic`` — the complete formulation (all simple routes, one SMT
+  query); slowest but explores the whole solution space.
+* ``routes-K`` for K in {1, 2, 3} — the route-subset heuristic
+  (Sec. V-C-1); small K solves fast but may miss solvable instances.
+* ``stages-S`` for S in {2, 4} — the incremental heuristic (Sec. V-C-2)
+  over a modest route subset; scales with message count.
+
+Racing them (see :mod:`repro.portfolio.engine`) gets the wall-clock time
+of the *fastest* regime for each instance while keeping the coverage of
+the complete one — exactly the trade-off the paper's Figs. 4-6 chart one
+configuration at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.synthesizer import MODE_STABILITY, SynthesisOptions
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """One named synthesis configuration entered into the race."""
+
+    name: str
+    options: SynthesisOptions
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("strategy needs a non-empty name")
+
+
+def default_portfolio(
+    mode: str = MODE_STABILITY,
+    route_subsets: Sequence[int] = (1, 2, 3),
+    stage_counts: Sequence[int] = (2, 4),
+    include_monolithic: bool = True,
+    incremental_routes: Optional[int] = 3,
+    path_cutoff: Optional[int] = None,
+) -> List[Strategy]:
+    """The paper-derived strategy mix described in the module docstring."""
+    portfolio: List[Strategy] = []
+    if include_monolithic:
+        portfolio.append(
+            Strategy(
+                "monolithic",
+                SynthesisOptions(mode=mode, routes=None, stages=1,
+                                 path_cutoff=path_cutoff),
+            )
+        )
+    for k in route_subsets:
+        portfolio.append(
+            Strategy(
+                f"routes-{k}",
+                SynthesisOptions(mode=mode, routes=k, stages=1,
+                                 path_cutoff=path_cutoff),
+            )
+        )
+    for s in stage_counts:
+        portfolio.append(
+            Strategy(
+                f"stages-{s}",
+                SynthesisOptions(mode=mode, routes=incremental_routes,
+                                 stages=s, path_cutoff=path_cutoff),
+            )
+        )
+    if not portfolio:
+        raise ValueError("portfolio is empty: enable at least one strategy")
+    return portfolio

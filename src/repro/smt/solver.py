@@ -10,12 +10,31 @@ Usage::
     if s.check() == sat:
         m = s.model()
         print(m[x], m[y])
+
+The solver is *incremental*: constraints may be added between ``check()``
+calls (learned clauses and theory state carry over), ``push()``/``pop()``
+delimit retractable assertion scopes, and ``check()`` accepts assumption
+literals that hold for that one call only::
+
+    s.push()
+    s.add(x <= 0)
+    s.check()                  # under the pushed scope
+    s.pop()                    # retract it; learned clauses survive
+    s.check(Bool("a"), x >= 5) # one-shot assumptions
+
+Scopes are realized with activation literals (the MiniSat idiom): each
+``push()`` allocates a fresh selector, assertions inside the scope are
+guarded by it, ``check()`` assumes every live selector, and ``pop()``
+permanently asserts its negation so the scope's clauses become vacuous
+while everything learned from them remains valid.
 """
 
 from __future__ import annotations
 
+import itertools
+
 from fractions import Fraction
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..errors import SolverError
 from ..sat.literals import TRUE
@@ -28,11 +47,21 @@ from .terms import (
     BoolVar,
     AndExpr,
     LinExpr,
+    Not,
     NotExpr,
+    Or,
     OrExpr,
     RealVar,
 )
 from .theory import LraTheory
+
+#: Fresh activation-variable names across all Solver instances (BoolVar
+#: interns by name globally, so scope selectors must never collide).
+_SCOPE_IDS = itertools.count()
+
+#: Statistics keys reported per ``check()`` (monotone counters of the SAT
+#: core whose per-call delta is meaningful).
+_CHECK_STAT_KEYS = ("conflicts", "decisions", "propagations", "restarts")
 
 
 class CheckResult:
@@ -113,6 +142,9 @@ class Solver:
         self._cnf = CnfConverter(self._sat, self._theory)
         self._assertions: list[BoolExpr] = []
         self._model: Optional[Model] = None
+        # Scope stack: (activation var, watermark into self._assertions).
+        self._scopes: List[Tuple[BoolVar, int]] = []
+        self._last_check_stats: Dict[str, int] = {}
 
     @property
     def assertions(self) -> list[BoolExpr]:
@@ -122,8 +154,47 @@ class Solver:
     def statistics(self) -> dict:
         return self._sat.statistics
 
+    @property
+    def last_check_statistics(self) -> Dict[str, int]:
+        """Search-effort counters of the most recent ``check()`` alone."""
+        return dict(self._last_check_stats)
+
+    # ------------------------------------------------------------------
+    # Incremental interface
+    # ------------------------------------------------------------------
+
+    @property
+    def num_scopes(self) -> int:
+        return len(self._scopes)
+
+    def push(self) -> None:
+        """Open a retractable assertion scope."""
+        act = BoolVar(f"__scope!{next(_SCOPE_IDS)}")
+        self._scopes.append((act, len(self._assertions)))
+
+    def pop(self, n: int = 1) -> None:
+        """Retract the ``n`` innermost scopes and their assertions.
+
+        The scope's clauses stay in the SAT core but are disabled for good
+        by asserting the negated activation literal, so clauses *learned*
+        while the scope was live remain usable afterwards.
+        """
+        if n < 0 or n > len(self._scopes):
+            raise SolverError(
+                f"cannot pop {n} scope(s); {len(self._scopes)} pushed"
+            )
+        for _ in range(n):
+            act, watermark = self._scopes.pop()
+            del self._assertions[watermark:]
+            self._cnf.assert_formula(Not(act))
+        self._model = None
+
     def add(self, *exprs: BoolExpr | bool | Iterable) -> None:
-        """Assert one or more formulas (lists/tuples are flattened)."""
+        """Assert one or more formulas (lists/tuples are flattened).
+
+        Inside a ``push()`` scope the assertion is guarded by the scope's
+        activation literal so a later ``pop()`` can retract it.
+        """
         for expr in exprs:
             if isinstance(expr, (list, tuple)):
                 self.add(*expr)
@@ -133,12 +204,29 @@ class Solver:
             if not isinstance(expr, BoolExpr):
                 raise SolverError(f"cannot assert non-Boolean {expr!r}")
             self._assertions.append(expr)
-            self._cnf.assert_formula(expr)
+            if self._scopes:
+                act, _ = self._scopes[-1]
+                self._cnf.assert_formula(Or(Not(act), expr))
+            else:
+                self._cnf.assert_formula(expr)
 
-    def check(self) -> CheckResult:
-        """Decide satisfiability of the asserted formulas."""
+    def check(self, *assumptions: BoolExpr | bool | Iterable) -> CheckResult:
+        """Decide satisfiability of the asserted formulas.
+
+        Optional ``assumptions`` are formulas taken to hold for this call
+        only (they are internalized once, then passed to the SAT core as
+        assumption literals — nothing to retract afterwards).
+        """
         self._model = None
-        if self._sat.solve():
+        lits = [self._cnf.literal_for(act) for act, _ in self._scopes]
+        lits.extend(self._assumption_literals(assumptions))
+        before = self._sat.statistics
+        solved = self._sat.solve(lits)
+        after = self._sat.statistics
+        self._last_check_stats = {
+            key: after[key] - before[key] for key in _CHECK_STAT_KEYS
+        }
+        if solved:
             bools = {
                 bv: self._sat.model_value(satvar)
                 for bv, satvar in self._cnf.bool_vars.items()
@@ -146,6 +234,19 @@ class Solver:
             self._model = Model(bools, self._theory.model_reals)
             return sat
         return unsat
+
+    def _assumption_literals(self, assumptions) -> List[int]:
+        out: List[int] = []
+        for a in assumptions:
+            if isinstance(a, (list, tuple)):
+                out.extend(self._assumption_literals(a))
+                continue
+            if isinstance(a, bool):
+                a = BoolConst(a)
+            if not isinstance(a, BoolExpr):
+                raise SolverError(f"cannot assume non-Boolean {a!r}")
+            out.append(self._cnf.literal_for(a))
+        return out
 
     def model(self) -> Model:
         if self._model is None:
