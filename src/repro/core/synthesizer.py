@@ -110,7 +110,8 @@ def synthesize(
     t0 = time.perf_counter()
     slices = _slice_messages(problem, opts.stages)
     fixed: List[FixedMessage] = []
-    stats: Dict[str, int] = {"conflicts": 0, "decisions": 0, "propagations": 0}
+    stats: Dict[str, int] = {"conflicts": 0, "decisions": 0,
+                             "propagations": 0, "theory_propagations": 0}
     stage_stats: List[Dict[str, int]] = []
     stages_done = 0
 

@@ -1,0 +1,224 @@
+"""Regression-tracked benchmark harness: ``BENCH_<name>.json`` emission.
+
+Every perf-sensitive experiment can be run through :func:`run_bench`, which
+measures wall time, collects the solver's search/theory statistics (per
+check and aggregated), records the sat/unsat statuses and whether the
+produced models certify, and writes the whole trajectory to
+``BENCH_<name>.json``.  Perf PRs are quantified by comparing such a file
+against a committed baseline (:func:`compare`): a wall-time increase past
+the threshold, or *any* status mismatch, is a regression.
+
+CLI (see ``python -m repro.eval bench --help``)::
+
+    python -m repro.eval bench --bench table1 fig3 --out .
+    python -m repro.eval bench --baseline-dir benchmarks/baselines \
+        --fail-threshold 0.25
+
+The committed baselines live in ``benchmarks/baselines/``; CI reruns the
+quick suite, uploads the fresh ``BENCH_*.json`` as an artifact and fails
+on >25% wall-time regression (see ``.github/workflows/ci.yml``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from . import experiments
+
+#: Quick (CI-sized) scales: small enough for a laptop/CI smoke run while
+#: still exercising the theory hot path (table1 is simplex/DL dominated).
+QUICK_SCALES: Dict[str, dict] = {
+    "table1": {"n_apps": 4, "routes": 3, "stages": 5},
+    "fig3": {"n_points": 13, "n_segments": 3},
+    "fig4": {"n_problems": 2, "stages_list": (3, 5), "routes": 3, "n_apps": 5},
+}
+
+
+def _digest(text: str) -> str:
+    """Stable fingerprint of a rendered result (identical-output evidence)."""
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def _bench_table1(scale: dict) -> dict:
+    result = experiments.run_table1(**scale)
+    return {
+        "statuses": {
+            "stability": result.stability_status,
+            "deadline": result.deadline_status,
+        },
+        "stable_counts": {
+            "stability": result.stability_stable_count,
+            "deadline": result.deadline_stable_count,
+        },
+        "solve_times": {
+            "stability": result.stability_time,
+            "deadline": result.deadline_time,
+        },
+        # run_table1 asserts collect_violations() == [] on every sat
+        # result, so reaching this point certifies the models.
+        "certified": result.stability_status == "sat",
+        "render_digest": _digest(result.render()),
+    }
+
+
+def _bench_fig3(scale: dict) -> dict:
+    result = experiments.run_fig3(**scale)
+    return {
+        "statuses": {"fig3": "ok"},
+        "n_points": len(result.curve.as_table()),
+        "render_digest": _digest(result.render()),
+    }
+
+
+def _bench_fig4(scale: dict) -> dict:
+    result = experiments.run_fig4(**scale)
+    statuses = {
+        f"stages={s}/seed={p.seed}": p.status
+        for s, pts in sorted(result.points.items())
+        for p in pts
+    }
+    return {"statuses": statuses, "render_digest": _digest(result.render())}
+
+
+_RUNNERS: Dict[str, Callable[[dict], dict]] = {
+    "table1": _bench_table1,
+    "fig3": _bench_fig3,
+    "fig4": _bench_fig4,
+}
+
+
+def run_bench(name: str, scale: Optional[dict] = None,
+              out_dir: str | Path = ".") -> dict:
+    """Run one named benchmark and write ``BENCH_<name>.json``.
+
+    Returns the record that was written.  Solver search statistics are
+    collected through :func:`repro.smt.solver.drain_global_check_stats`,
+    which every ``Solver`` feeds: the record carries one entry per
+    ``check()`` (the *trajectory*) plus the aggregate.
+    """
+    from ..smt.solver import drain_global_check_stats
+
+    runner = _RUNNERS.get(name)
+    if runner is None:
+        raise ValueError(f"unknown benchmark {name!r} (have {sorted(_RUNNERS)})")
+    scale = dict(QUICK_SCALES[name] if scale is None else scale)
+    drain_global_check_stats()  # discard anything from earlier runs
+    t0 = time.perf_counter()
+    payload = runner(scale)
+    wall = time.perf_counter() - t0
+    per_check = drain_global_check_stats()
+    totals: Dict[str, int] = {}
+    for entry in per_check:
+        for key, value in entry.items():
+            totals[key] = totals.get(key, 0) + value
+    record = {
+        "name": name,
+        "scale": {k: list(v) if isinstance(v, tuple) else v
+                  for k, v in scale.items()},
+        "wall_s": round(wall, 4),
+        "checks": len(per_check),
+        "statistics": totals,
+        "per_check": per_check,
+        "meta": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        **payload,
+    }
+    out_path = Path(out_dir) / f"BENCH_{name}.json"
+    out_path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return record
+
+
+#: Solver-work counters that are deterministic for a given code state and
+#: benchmark scale (the solver is single-threaded and seeded), so they
+#: regress-compare cleanly even across machines of different speeds.
+_WORK_COUNTERS = ("conflicts", "decisions", "propagations")
+
+
+def compare(current: dict, baseline: dict, threshold: float = 0.25,
+            wall_gate: bool = True) -> List[str]:
+    """Regressions of ``current`` vs ``baseline`` (empty list = clean).
+
+    * any sat/unsat status difference is a hard regression;
+    * search-effort counters above ``baseline * (1 + threshold)`` are a
+      regression (deterministic, machine-independent);
+    * wall time above ``baseline * (1 + threshold)`` is a regression when
+      ``wall_gate`` is on — disable it when the baseline was recorded on
+      different hardware (CI does; see .github/workflows/ci.yml).
+    """
+    problems: List[str] = []
+    name = current.get("name", "?")
+    base_statuses = baseline.get("statuses", {})
+    cur_statuses = current.get("statuses", {})
+    for key, expected in base_statuses.items():
+        got = cur_statuses.get(key)
+        if got != expected:
+            problems.append(
+                f"{name}: status of {key!r} changed {expected!r} -> {got!r}"
+            )
+    base_stats = baseline.get("statistics", {})
+    cur_stats = current.get("statistics", {})
+    for key in _WORK_COUNTERS:
+        base_val = base_stats.get(key, 0)
+        cur_val = cur_stats.get(key, 0)
+        if base_val and cur_val > base_val * (1.0 + threshold):
+            problems.append(
+                f"{name}: {key} regressed {base_val} -> {cur_val} "
+                f"(>{threshold:.0%} over baseline)"
+            )
+    base_wall = baseline.get("wall_s")
+    cur_wall = current.get("wall_s")
+    if (wall_gate and base_wall and cur_wall
+            and cur_wall > base_wall * (1.0 + threshold)):
+        problems.append(
+            f"{name}: wall time regressed {base_wall:.2f}s -> {cur_wall:.2f}s "
+            f"(>{threshold:.0%} over baseline)"
+        )
+    return problems
+
+
+def run_suite(
+    names: Sequence[str],
+    out_dir: str | Path = ".",
+    baseline_dir: Optional[str | Path] = None,
+    threshold: float = 0.25,
+    wall_gate: bool = True,
+) -> int:
+    """Run benchmarks, report, and compare against committed baselines.
+
+    Returns the number of regressions found (0 = success), printing a
+    human-readable summary along the way.
+    """
+    regressions: List[str] = []
+    for name in names:
+        record = run_bench(name, out_dir=out_dir)
+        line = (f"BENCH {name}: {record['wall_s']:.2f}s, "
+                f"{record['checks']} checks")
+        stats = record.get("statistics", {})
+        if stats:
+            keys = ("conflicts", "decisions", "propagations",
+                    "theory_propagations")
+            line += ", " + ", ".join(
+                f"{k}={stats[k]}" for k in keys if k in stats
+            )
+        print(line)
+        if baseline_dir is not None:
+            base_path = Path(baseline_dir) / f"BENCH_{name}.json"
+            if base_path.exists():
+                baseline = json.loads(base_path.read_text())
+                found = compare(record, baseline, threshold, wall_gate=wall_gate)
+                for p in found:
+                    print(f"  REGRESSION: {p}")
+                if not found:
+                    speed = baseline["wall_s"] / record["wall_s"] if record["wall_s"] else 0
+                    print(f"  vs baseline {base_path}: {speed:.2f}x")
+                regressions.extend(found)
+            else:
+                print(f"  (no baseline at {base_path})")
+    return len(regressions)

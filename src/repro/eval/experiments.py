@@ -10,10 +10,11 @@ numbers and ours).
 
 from __future__ import annotations
 
+import multiprocessing
 import time
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..control.plants import paper_controller, plant_database
 from ..core.synthesizer import (
@@ -29,6 +30,40 @@ from ..stability.curve import StabilityCurve, compute_stability_curve
 from ..stability.piecewise import StabilitySpec, fit_lower_bound
 from . import workloads
 from .reporting import format_scatter, format_series, format_table
+
+
+# ---------------------------------------------------------------------------
+# Process-pool fan-out for the sweep experiments
+# ---------------------------------------------------------------------------
+
+
+def _map_tasks(fn: Callable, tasks: Sequence, jobs: Optional[int]) -> List:
+    """Map ``fn`` over ``tasks``, fanning out to ``jobs`` worker processes.
+
+    The figure sweeps are embarrassingly parallel across (seed, config)
+    pairs: every task rebuilds its problem from the seed, so workers share
+    nothing and the result list is identical to the serial run (same tasks,
+    same order; only wall times differ).  ``jobs=None``/``1`` runs serially
+    in-process; a pool that cannot be launched (restricted sandbox)
+    degrades to serial automatically.
+    """
+    if jobs is not None and jobs > 1:
+        try:
+            ctx = multiprocessing.get_context()
+            with ctx.Pool(processes=jobs) as pool:
+                return pool.map(fn, tasks)
+        except OSError:
+            pass
+    return [fn(t) for t in tasks]
+
+
+def _sweep_task(args: Tuple) -> Tuple:
+    """One (seed, stages, routes) synthesis cell of a fig4/5/6 sweep."""
+    seed, n_apps, stages, routes = args
+    problem = workloads.random_problem(seed, n_apps=n_apps)
+    res = synthesize(problem, SynthesisOptions(routes=routes, stages=stages))
+    return (seed, stages, routes, problem.num_messages,
+            res.synthesis_time, res.status)
 
 
 # ---------------------------------------------------------------------------
@@ -107,17 +142,23 @@ def run_fig4(
     routes: int = 4,
     n_apps: int = 10,
     seed0: int = 0,
+    jobs: Optional[int] = None,
 ) -> Fig4Result:
-    """Paper setup: 60 random 35-node problems x stages in {3..11}."""
+    """Paper setup: 60 random 35-node problems x stages in {3..11}.
+
+    ``jobs`` fans the (problem, stages) grid out over a process pool; the
+    resulting points are identical to the serial run.
+    """
+    tasks = [
+        (seed0 + i, n_apps, stages, routes)
+        for i in range(n_problems)
+        for stages in stages_list
+    ]
     points: Dict[int, List[ScalingPoint]] = {s: [] for s in stages_list}
-    for i in range(n_problems):
-        problem = workloads.random_problem(seed0 + i, n_apps=n_apps)
-        for stages in stages_list:
-            res = synthesize(problem, SynthesisOptions(routes=routes, stages=stages))
-            points[stages].append(
-                ScalingPoint(seed0 + i, problem.num_messages,
-                             res.synthesis_time, res.status)
-            )
+    for seed, stages, _routes, n_msgs, time_s, status in _map_tasks(
+        _sweep_task, tasks, jobs
+    ):
+        points[stages].append(ScalingPoint(seed, n_msgs, time_s, status))
     return Fig4Result(points, routes)
 
 
@@ -144,19 +185,23 @@ def run_fig5(
     routes: int = 4,
     n_apps: int = 10,
     seed0: int = 0,
+    jobs: Optional[int] = None,
 ) -> Fig5Result:
-    out = []
-    problems = [
-        workloads.random_problem(seed0 + i, n_apps=n_apps)
+    tasks = [
+        (seed0 + i, n_apps, stages, routes)
+        for stages in stages_list
         for i in range(n_problems)
     ]
-    for stages in stages_list:
-        failures = 0
-        for problem in problems:
-            res = synthesize(problem, SynthesisOptions(routes=routes, stages=stages))
-            if not res.ok:
-                failures += 1
-        out.append((stages, 100.0 * failures / max(1, len(problems))))
+    failures: Dict[int, int] = {s: 0 for s in stages_list}
+    for _seed, stages, _routes, _n_msgs, _time_s, status in _map_tasks(
+        _sweep_task, tasks, jobs
+    ):
+        if status != "sat":
+            failures[stages] += 1
+    out = [
+        (stages, 100.0 * failures[stages] / max(1, n_problems))
+        for stages in stages_list
+    ]
     return Fig5Result(out)
 
 
@@ -190,22 +235,22 @@ def run_fig6(
     stages: int = 5,
     n_apps: int = 10,
     seed0: int = 0,
+    jobs: Optional[int] = None,
 ) -> Fig6Result:
+    tasks = [
+        (seed0 + i, n_apps, stages, routes)
+        for i in range(n_problems)
+        for routes in routes_list
+    ]
     points: Dict[int, List[ScalingPoint]] = {r: [] for r in routes_list}
     unsolved: Dict[int, int] = {r: 0 for r in routes_list}
-    problems = [
-        workloads.random_problem(seed0 + i, n_apps=n_apps)
-        for i in range(n_problems)
-    ]
-    for problem in problems:
-        for routes in routes_list:
-            res = synthesize(problem, SynthesisOptions(routes=routes, stages=stages))
-            points[routes].append(
-                ScalingPoint(0, problem.num_messages, res.synthesis_time, res.status)
-            )
-            if not res.ok:
-                unsolved[routes] += 1
-    pct = {r: 100.0 * n / max(1, len(problems)) for r, n in unsolved.items()}
+    for _seed, _stages, routes, n_msgs, time_s, status in _map_tasks(
+        _sweep_task, tasks, jobs
+    ):
+        points[routes].append(ScalingPoint(0, n_msgs, time_s, status))
+        if status != "sat":
+            unsolved[routes] += 1
+    pct = {r: 100.0 * n / max(1, n_problems) for r, n in unsolved.items()}
     return Fig6Result(points, stages, pct)
 
 

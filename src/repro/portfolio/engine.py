@@ -57,6 +57,7 @@ class StrategyResult:
     failed_stage: Optional[int] = None
     statistics: Dict[str, int] = field(default_factory=dict)
     error: Optional[str] = None
+    attempts: int = 1                    # launches incl. restart-schedule reruns
 
 
 @dataclass
@@ -95,6 +96,14 @@ def synthesize_portfolio(
     backend enforces it by terminating workers at the deadline, while
     the serial backend can only check it *between* strategies (a running
     in-process solve is not preemptible).
+
+    Per-strategy budgets (``Strategy.timeout`` / ``Strategy.restarts``)
+    are enforced by the process backend: an attempt is terminated at its
+    own deadline and — while the global deadline is still open — re-queued
+    with the next budget from its restart schedule, so a small worker pool
+    probes every strategy quickly before giving the slow ones more time.
+    The serial backend ignores per-strategy budgets (one non-preemptible
+    attempt each).
     """
     entries = list(strategies) if strategies is not None else default_portfolio(mode=mode)
     if not entries:
@@ -191,16 +200,26 @@ def _race_processes(
     t0 = time.perf_counter()
     deadline = t0 + timeout if timeout is not None else None
 
-    pending = list(enumerate(entries))          # not yet launched
-    running: Dict[int, tuple] = {}              # idx -> (proc, conn, start)
+    # Launch queue: (idx, strategy, attempt_no).  Attempt 1 uses
+    # strategy.timeout; attempt k>1 uses strategy.restarts[k-2].
+    pending = [(idx, s, 1) for idx, s in enumerate(entries)]
+    running: Dict[int, tuple] = {}  # idx -> (proc, conn, start, sdeadline, attempt)
     results: Dict[int, StrategyResult] = {}
+    spent_wall: Dict[int, float] = {}  # accumulated wall time of dead attempts
     winner_idx: Optional[int] = None
     winner_payload: Optional[dict] = None
     winner_wall = 0.0
 
+    def attempt_budget(strategy: Strategy, attempt: int) -> Optional[float]:
+        if strategy.timeout is None:
+            return None
+        if attempt == 1:
+            return strategy.timeout
+        return strategy.restarts[attempt - 2]
+
     def launch_available() -> None:
         while pending and len(running) < workers:
-            idx, strategy = pending.pop(0)
+            idx, strategy, attempt = pending.pop(0)
             parent_conn, child_conn = ctx.Pipe(duplex=False)
             proc = ctx.Process(
                 target=_strategy_worker,
@@ -222,18 +241,25 @@ def _race_processes(
                 results[idx] = StrategyResult(
                     name=strategy.name,
                     status=STATUS_ERROR,
-                    wall_time=0.0,
+                    wall_time=spent_wall.get(idx, 0.0),
                     error=f"could not launch worker: {exc}",
+                    attempts=attempt,
                 )
                 continue
             child_conn.close()
-            running[idx] = (proc, parent_conn, time.perf_counter())
+            started = time.perf_counter()
+            budget = attempt_budget(strategy, attempt)
+            # Per-strategy deadline, clamped to the global one.
+            sdeadline = started + budget if budget is not None else None
+            if deadline is not None:
+                sdeadline = deadline if sdeadline is None else min(sdeadline, deadline)
+            running[idx] = (proc, parent_conn, started, sdeadline, attempt)
 
     def harvest(idx: int) -> None:
         """Collect one finished worker's report (or its corpse)."""
         nonlocal winner_idx, winner_payload, winner_wall
-        proc, conn, started = running.pop(idx)
-        wall = time.perf_counter() - started
+        proc, conn, started, _sdeadline, attempt = running.pop(idx)
+        wall = spent_wall.get(idx, 0.0) + time.perf_counter() - started
         try:
             payload = conn.recv()
         except (EOFError, OSError):
@@ -242,18 +268,49 @@ def _race_processes(
                                 f"(exitcode={proc.exitcode})"}
         conn.close()
         proc.join()
-        results[idx] = _result_from_payload(entries[idx].name, payload, wall)
+        result = _result_from_payload(entries[idx].name, payload, wall)
+        result.attempts = attempt
+        results[idx] = result
         if winner_idx is None and payload["status"] == STATUS_SAT:
             winner_idx, winner_payload, winner_wall = idx, payload, wall
+
+    def expire(idx: int, now: float) -> None:
+        """Kill an attempt at its per-strategy deadline; maybe re-queue."""
+        # A result may have landed after the last connection.wait(): honor
+        # it (it could be the winning sat) instead of discarding it.
+        if running[idx][1].poll():
+            harvest(idx)
+            return
+        proc, conn, started, _sdeadline, attempt = running.pop(idx)
+        proc.terminate()
+        proc.join()
+        conn.close()
+        spent_wall[idx] = spent_wall.get(idx, 0.0) + now - started
+        strategy = entries[idx]
+        has_budget = attempt - 1 < len(strategy.restarts)
+        global_open = deadline is None or now < deadline
+        if has_budget and global_open:
+            pending.append((idx, strategy, attempt + 1))
+        else:
+            results[idx] = StrategyResult(
+                name=strategy.name,
+                status=STATUS_TIMEOUT,
+                wall_time=spent_wall[idx],
+                attempts=attempt,
+            )
 
     launch_available()
     timed_out = False
     while running and winner_idx is None:
+        now = time.perf_counter()
         wait_for = 0.1
         if deadline is not None:
-            wait_for = min(wait_for, max(0.0, deadline - time.perf_counter()))
+            wait_for = min(wait_for, max(0.0, deadline - now))
+        for _, _, _, sdeadline, _ in running.values():
+            if sdeadline is not None:
+                wait_for = min(wait_for, max(0.0, sdeadline - now))
         ready = multiprocessing.connection.wait(
-            [conn for _, conn, _ in running.values()], timeout=wait_for
+            [conn for _, conn, _, _, _ in running.values()], timeout=wait_for
         )
         ready_set = set(ready)
         # Harvest *every* ready worker before declaring the race over, so
@@ -263,28 +320,39 @@ def _race_processes(
         for idx in sorted(running):
             if running[idx][1] in ready_set:
                 harvest(idx)
-        if deadline is not None and time.perf_counter() >= deadline:
+        now = time.perf_counter()
+        if deadline is not None and now >= deadline:
             timed_out = True
             break
-        if winner_idx is None:
-            launch_available()
+        if winner_idx is not None:
+            break
+        # Enforce per-strategy deadlines (restart schedule re-queues).
+        for idx in sorted(running):
+            sdeadline = running[idx][3]
+            if sdeadline is not None and now >= sdeadline:
+                expire(idx, now)
+        launch_available()
 
     # Race over: stop whoever is still working and account for everyone.
     loser_status = STATUS_TIMEOUT if timed_out else STATUS_CANCELLED
-    for idx, (proc, conn, started) in list(running.items()):
+    for idx, (proc, conn, started, _sdeadline, attempt) in list(running.items()):
         proc.terminate()
         proc.join()
         conn.close()
         results[idx] = StrategyResult(
             name=entries[idx].name,
             status=loser_status,
-            wall_time=time.perf_counter() - started,
+            wall_time=spent_wall.get(idx, 0.0) + time.perf_counter() - started,
+            attempts=attempt,
         )
-    for idx, strategy in pending:
+    for idx, strategy, attempt in pending:
+        if idx in results:
+            continue
         results[idx] = StrategyResult(
             name=strategy.name,
-            status=STATUS_TIMEOUT if timed_out else STATUS_SKIPPED,
-            wall_time=0.0,
+            status=STATUS_TIMEOUT if (timed_out or attempt > 1) else STATUS_SKIPPED,
+            wall_time=spent_wall.get(idx, 0.0),
+            attempts=attempt - 1 if attempt > 1 else 1,
         )
 
     total = time.perf_counter() - t0

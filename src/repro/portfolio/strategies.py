@@ -18,22 +18,64 @@ configuration at a time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.synthesizer import MODE_STABILITY, SynthesisOptions
 
 
 @dataclass(frozen=True)
 class Strategy:
-    """One named synthesis configuration entered into the race."""
+    """One named synthesis configuration entered into the race.
+
+    ``timeout`` bounds the strategy's *first attempt* in seconds (None =
+    only the race's global deadline applies).  ``restarts`` is the budget
+    schedule for further attempts: when an attempt times out while the
+    race is undecided, the engine re-queues the strategy with the next
+    budget from the schedule.  Short first budgets let a constrained
+    worker pool probe every strategy quickly; the schedule revisits slow
+    ones with growing budgets only if nothing has won yet — all attempts
+    stay clamped to the global deadline (deadline-aware racing).
+    """
 
     name: str
     options: SynthesisOptions
+    timeout: Optional[float] = None
+    restarts: Tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("strategy needs a non-empty name")
+        if self.timeout is not None and self.timeout < 0:
+            raise ValueError("strategy timeout must be >= 0")
+        if self.restarts and self.timeout is None:
+            raise ValueError("a restart schedule needs an initial timeout")
+        # Tolerate lists from callers; the engine treats it as a queue.
+        if not isinstance(self.restarts, tuple):
+            object.__setattr__(self, "restarts", tuple(self.restarts))
+
+
+def with_restart_schedule(
+    strategies: Sequence[Strategy],
+    base_timeout: float,
+    factor: float = 2.0,
+    rounds: int = 2,
+) -> List[Strategy]:
+    """Give every strategy a geometric per-attempt budget schedule.
+
+    Attempt ``i`` gets ``base_timeout * factor**i`` seconds, for
+    ``rounds`` restart rounds after the first attempt — the standard
+    restart-schedule racing setup for pools smaller than the portfolio.
+    """
+    if base_timeout <= 0:
+        raise ValueError("base_timeout must be positive")
+    if rounds < 0:
+        raise ValueError("rounds must be >= 0")
+    schedule = tuple(base_timeout * factor ** (i + 1) for i in range(rounds))
+    return [
+        replace(s, timeout=base_timeout, restarts=schedule)
+        for s in strategies
+    ]
 
 
 def default_portfolio(

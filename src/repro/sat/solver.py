@@ -19,14 +19,26 @@ The theory backend protocol (all methods optional, see
 * ``final_check()`` — called on a full propositional assignment; may return
   a conflict explanation.  Returning ``None`` means the assignment is
   theory-consistent and the solver answers SAT.
+* ``propagate(assigns)`` — called when Boolean and theory propagation are
+  at fixpoint with no conflict; returns *implied literals* — unassigned
+  atoms entailed by the current theory state — each paired with the
+  asserted literals that entail it.  The solver assigns them instead of
+  branching (the theory-propagation step of DPLL(T)); the explanation is
+  materialized into a reason clause only if conflict analysis ever
+  resolves on the implication.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import SolverError
 from .literals import FALSE, TRUE, UNASSIGNED, is_positive, neg, var_of
+
+#: A theory-implied literal with its explanation: the asserted literals
+#: that jointly entail it.  The explanation is only materialized into a
+#: reason *clause* if conflict analysis ever resolves on the implication.
+TheoryImplication = Tuple[int, Tuple[int, ...]]
 
 
 class TheoryBackend:
@@ -43,17 +55,55 @@ class TheoryBackend:
         """Check a full assignment; return a conflict explanation or None."""
         return None
 
+    def propagate(self, assigns: Sequence[int]) -> List[TheoryImplication]:
+        """Implied literals entailed by the current theory state.
+
+        ``assigns`` is the solver's per-variable assignment array (indexed
+        by SAT variable, ``UNASSIGNED`` for open variables) so the theory
+        can skip already-assigned atoms without allocating.
+        """
+        return []
+
 
 def luby(i: int) -> int:
-    """The Luby restart sequence (1,1,2,1,1,2,4,...), 1-indexed."""
-    k = 1
-    while (1 << k) - 1 < i:
-        k += 1
-    while (1 << k) - 1 != i:
-        k -= 1
-        if i > (1 << k) - 1:
-            i -= (1 << k) - 1
-    return 1 << (k - 1)
+    """The Luby restart sequence (1,1,2,1,1,2,4,...), 1-indexed.
+
+    O(log i): find the smallest complete binary run containing ``i``
+    (``i == 2**k - 1`` means ``i`` ends a run and the value is ``2**(k-1)``),
+    otherwise recurse into the tail — realized iteratively, shrinking ``i``
+    at least one bit per step instead of rescanning ``k`` downward.
+    """
+    k = i.bit_length()
+    while True:
+        if i == (1 << k) - 1:
+            return 1 << (k - 1)
+        i -= (1 << (k - 1)) - 1
+        k = i.bit_length()
+
+
+class _TheoryReason:
+    """Reason clause for a theory-propagated literal, materialized lazily.
+
+    Duck-types the parts of :class:`_Clause` that conflict analysis uses
+    (``lits``, ``learnt``, ``activity``).  ``lits`` is built on first
+    access: ``[implied, -e1, -e2, ...]`` — a clause that is valid by theory
+    reasoning and asserting under the trail that produced it.
+    """
+
+    __slots__ = ("_implied", "_explain", "_lits", "learnt", "activity")
+
+    def __init__(self, implied: int, explain: Tuple[int, ...]):
+        self._implied = implied
+        self._explain = explain
+        self._lits: Optional[List[int]] = None
+        self.learnt = False
+        self.activity = 0.0
+
+    @property
+    def lits(self) -> List[int]:
+        if self._lits is None:
+            self._lits = [self._implied] + [neg(e) for e in self._explain]
+        return self._lits
 
 
 class _Clause:
@@ -65,6 +115,10 @@ class _Clause:
         self.lits = lits
         self.learnt = learnt
         self.activity = 0.0
+
+
+def _clause_activity(c: _Clause) -> float:
+    return c.activity
 
 
 class SatSolver:
@@ -101,6 +155,7 @@ class SatSolver:
         self._conflicts = 0
         self._decisions = 0
         self._propagations = 0
+        self._theory_propagations = 0
         self._restarts = 0
         self._max_learnts_factor = 1.0 / 3.0
         self._model: List[int] = []
@@ -125,6 +180,7 @@ class SatSolver:
             "conflicts": self._conflicts,
             "decisions": self._decisions,
             "propagations": self._propagations,
+            "theory_propagations": self._theory_propagations,
             "restarts": self._restarts,
             "clauses": len(self._clauses),
             "learnts": len(self._learnts),
@@ -496,6 +552,25 @@ class SatSolver:
     def _conflict_clause_from_explanation(self, clause_lits: List[int]) -> _Clause:
         return _Clause(clause_lits, learnt=True)
 
+    def _theory_propagate(self) -> Optional[List[int]]:
+        """Assign theory-implied literals; return a conflict clause or None.
+
+        Each implied literal is enqueued with a :class:`_TheoryReason`
+        whose explanation clause is built only if conflict analysis ever
+        resolves on it.  An implied literal that is already false is a
+        theory conflict: its (eagerly materialized) reason clause — which
+        the current assignment falsifies — is returned for analysis.
+        """
+        for implied, explain in self.theory.propagate(self._assigns):
+            val = self._lit_value(implied)
+            if val == TRUE:
+                continue
+            if val == FALSE:
+                return [implied] + [neg(e) for e in explain]
+            self._theory_propagations += 1
+            self._enqueue(implied, _TheoryReason(implied, explain))
+        return None
+
     # ------------------------------------------------------------------
     # Clause database reduction
     # ------------------------------------------------------------------
@@ -505,15 +580,23 @@ class SatSolver:
         return self._reasons[v] is c and self._assigns[v] != UNASSIGNED
 
     def _reduce_db(self) -> None:
-        self._learnts.sort(key=lambda c: c.activity)
-        lim = len(self._learnts) // 2
-        kept: List[_Clause] = []
-        for i, c in enumerate(self._learnts):
+        """Drop the less-active half of the learnt clauses, in place.
+
+        The list is compacted with a write cursor (no rebuilt list, no
+        churn for the kept majority); locked and binary clauses survive
+        regardless of activity.
+        """
+        learnts = self._learnts
+        learnts.sort(key=_clause_activity)
+        lim = len(learnts) // 2
+        write = 0
+        for i, c in enumerate(learnts):
             if len(c.lits) > 2 and not self._locked(c) and i < lim:
                 self._detach(c)
             else:
-                kept.append(c)
-        self._learnts = kept
+                learnts[write] = c
+                write += 1
+        del learnts[write:]
 
     def _detach(self, c: _Clause) -> None:
         for w in (neg(c.lits[0]), neg(c.lits[1])):
@@ -553,6 +636,12 @@ class SatSolver:
                 theory_clause = self._theory_notify(start)
                 if theory_clause is not None:
                     learned_from_theory = theory_clause
+                else:
+                    learned_from_theory = self._theory_propagate()
+                    if learned_from_theory is None and self._qhead < len(self._trail):
+                        # Implied literals were enqueued: run BCP over them
+                        # (and let the theory observe them) before deciding.
+                        continue
             if conflict is not None or learned_from_theory is not None:
                 self._conflicts += 1
                 conflicts_here += 1

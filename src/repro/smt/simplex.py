@@ -11,44 +11,83 @@ simplex handles the paper's non-unit-coefficient *stability* atoms
 The solver state is backtrackable via a bound trail (:meth:`mark` /
 :meth:`undo_to`); the tableau itself is never undone because pivoting is an
 equivalence transformation and rows are definitional.
+
+Hot-path layout
+---------------
+
+All per-variable state lives in flat parallel lists indexed by variable:
+``beta`` is split into its rational and delta components (two ``Fraction``
+lists) so the pivot/update loops do plain Fraction adds with **no
+DeltaRational allocation**, and delta-component work is skipped entirely
+when the delta part of an update is zero (the common case).  Candidate
+violated variables are kept in a lazy min-heap (Bland's rule pops the
+smallest index directly — no ``sorted()`` per pivot iteration), and a float
+mirror of ``beta``/bounds supports an opt-in pre-filter
+(``Simplex(float_prefilter=True)``) that answers clear-cut bound
+comparisons in float and falls back to exact arithmetic on near-ties.
 """
 
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Tuple
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Set, Tuple
 
-from ..errors import SolverError
 from .rationals import DeltaRational, materialize_delta
 
 NO_LIT = -1
+
+_INF = float("inf")
+
+#: Relative guard band for the float pre-filter: float comparisons whose
+#: operands differ by less than this (relative) margin are re-done exactly.
+_FLOAT_GUARD = 1e-6
 
 
 class Simplex:
     """Incremental simplex over ``Q + Q*delta`` with conflict explanations."""
 
-    def __init__(self) -> None:
+    def __init__(self, float_prefilter: bool = False) -> None:
         self._n = 0
+        self._float_prefilter = float_prefilter
+        # Bounds as DeltaRational (assertions are rare; comparisons on the
+        # hot path read .real/.delta directly).
         self._lower: List[Optional[DeltaRational]] = []
         self._upper: List[Optional[DeltaRational]] = []
         self._lower_lit: List[int] = []
         self._upper_lit: List[int] = []
-        self._beta: List[DeltaRational] = []
+        # beta split into parallel Fraction components + a float mirror.
+        self._beta_r: List[Fraction] = []
+        self._beta_d: List[Fraction] = []
+        self._beta_f: List[float] = []
+        self._lower_f: List[float] = []
+        self._upper_f: List[float] = []
         self._is_basic: List[bool] = []
-        # For basic variables: row mapping nonbasic var -> coefficient.
-        self._rows: Dict[int, Dict[int, Fraction]] = {}
+        # For basic variables: row mapping nonbasic var -> coefficient
+        # (None for nonbasic variables).
+        self._rows: List[Optional[Dict[int, Fraction]]] = []
         # For nonbasic variables: set of basic variables whose row uses them.
-        self._cols: Dict[int, set] = {}
+        self._cols: List[Set[int]] = []
         # Bound-change trail: (var, is_lower, old_bound, old_lit)
         self._trail: List[Tuple[int, bool, Optional[DeltaRational], int]] = []
         # Nonbasic variables whose beta may violate a freshly tightened
         # bound; repaired lazily at the start of check().
-        self._dirty: set = set()
+        self._dirty: Set[int] = set()
         # Basic variables whose beta or bounds changed since the last
         # check(): the only candidates for bound violations (avoids a full
         # O(n) scan per pivot iteration).  Invariant: every violating
-        # basic variable is in this set.
-        self._suspects: set = set()
+        # basic variable is in this set.  Mirrored as a min-heap so Bland's
+        # rule pops the smallest suspect index without sorting.
+        self._suspects: Set[int] = set()
+        self._suspects_heap: List[int] = []
+        # Variables whose bound was tightened since the last drain — the
+        # theory-propagation layer consumes this (see LraTheory.propagate).
+        # Only *watched* variables (see watch_var) are tracked: bound
+        # tightenings on anything else can never imply a registered atom,
+        # and the per-assert set-add plus per-fixpoint drain would dominate
+        # the hook's cost.
+        self.touched_bounds: Set[int] = set()
+        self._watched: List[bool] = []
 
     # ------------------------------------------------------------------
     # Construction
@@ -62,10 +101,20 @@ class Simplex:
         self._upper.append(None)
         self._lower_lit.append(NO_LIT)
         self._upper_lit.append(NO_LIT)
-        self._beta.append(DeltaRational(0))
+        self._beta_r.append(_F0)
+        self._beta_d.append(_F0)
+        self._beta_f.append(0.0)
+        self._lower_f.append(-_INF)
+        self._upper_f.append(_INF)
         self._is_basic.append(False)
-        self._cols[idx] = set()
+        self._rows.append(None)
+        self._cols.append(set())
+        self._watched.append(False)
         return idx
+
+    def watch_var(self, var: int) -> None:
+        """Report bound tightenings of ``var`` through ``touched_bounds``."""
+        self._watched[var] = True
 
     def add_row(self, coeffs: Dict[int, Fraction]) -> int:
         """Introduce a slack variable ``s = sum(coeffs)`` and return it.
@@ -79,23 +128,30 @@ class Simplex:
                 continue
             if self._is_basic[var]:
                 for v2, c2 in self._rows[var].items():
-                    expanded[v2] = expanded.get(v2, Fraction(0)) + coeff * c2
+                    expanded[v2] = expanded.get(v2, _F0) + coeff * c2
             else:
-                expanded[var] = expanded.get(var, Fraction(0)) + coeff
+                expanded[var] = expanded.get(var, _F0) + coeff
         expanded = {v: c for v, c in expanded.items() if c != 0}
         s = self.new_var()
         self._is_basic[s] = True
         self._rows[s] = expanded
         for v in expanded:
             self._cols[v].add(s)
-        self._beta[s] = self._row_value(s)
+        r, d = self._row_value(s)
+        self._beta_r[s] = r
+        self._beta_d[s] = d
+        if self._float_prefilter:
+            self._resync_float(s)
         return s
 
-    def _row_value(self, basic: int) -> DeltaRational:
-        total = DeltaRational(0)
+    def _row_value(self, basic: int) -> Tuple[Fraction, Fraction]:
+        total_r = _F0
+        total_d = _F0
+        beta_r, beta_d = self._beta_r, self._beta_d
         for v, c in self._rows[basic].items():
-            total = total + self._beta[v] * c
-        return total
+            total_r += beta_r[v] * c
+            total_d += beta_d[v] * c
+        return total_r, total_d
 
     # ------------------------------------------------------------------
     # Backtracking
@@ -105,14 +161,23 @@ class Simplex:
         return len(self._trail)
 
     def undo_to(self, mark: int) -> None:
+        mirror = self._float_prefilter
         while len(self._trail) > mark:
             var, is_lower, old_bound, old_lit = self._trail.pop()
             if is_lower:
                 self._lower[var] = old_bound
                 self._lower_lit[var] = old_lit
+                if mirror:
+                    self._lower_f[var] = (
+                        float(old_bound.real) if old_bound is not None else -_INF
+                    )
             else:
                 self._upper[var] = old_bound
                 self._upper_lit[var] = old_lit
+                if mirror:
+                    self._upper_f[var] = (
+                        float(old_bound.real) if old_bound is not None else _INF
+                    )
 
     # ------------------------------------------------------------------
     # Bound assertion
@@ -128,9 +193,13 @@ class Simplex:
         if current is None or bound > current:
             self._lower[var] = bound
             self._lower_lit[var] = lit
+            if self._float_prefilter:
+                self._lower_f[var] = float(bound.real)
+            if self._watched[var]:
+                self.touched_bounds.add(var)
             if self._is_basic[var]:
-                self._suspects.add(var)
-            elif self._beta[var] < bound:
+                self._add_suspect(var)
+            elif self._below(var, bound):
                 self._dirty.add(var)
         return None
 
@@ -144,9 +213,13 @@ class Simplex:
         if current is None or bound < current:
             self._upper[var] = bound
             self._upper_lit[var] = lit
+            if self._float_prefilter:
+                self._upper_f[var] = float(bound.real)
+            if self._watched[var]:
+                self.touched_bounds.add(var)
             if self._is_basic[var]:
-                self._suspects.add(var)
-            elif self._beta[var] > bound:
+                self._add_suspect(var)
+            elif self._above(var, bound):
                 self._dirty.add(var)
         return None
 
@@ -154,13 +227,81 @@ class Simplex:
     def _pair_conflict(lit_a: int, lit_b: int) -> List[int]:
         return [l for l in (lit_a, lit_b) if l != NO_LIT]
 
+    def _add_suspect(self, var: int) -> None:
+        if var not in self._suspects:
+            self._suspects.add(var)
+            heappush(self._suspects_heap, var)
+
+    # -- beta/bound comparisons (no DeltaRational allocation) ----------
+
+    def _below(self, var: int, bound: DeltaRational) -> bool:
+        """beta[var] < bound?"""
+        if self._float_prefilter:
+            diff = self._beta_f[var] - self._lower_f[var]
+            if abs(diff) > _FLOAT_GUARD * (1.0 + abs(self._beta_f[var])):
+                return diff < 0.0
+        r = self._beta_r[var]
+        br = bound.real
+        lhs = r.numerator * br.denominator
+        rhs = br.numerator * r.denominator
+        if lhs != rhs:
+            return lhs < rhs
+        d = self._beta_d[var]
+        bd = bound.delta
+        return d.numerator * bd.denominator < bd.numerator * d.denominator
+
+    def _above(self, var: int, bound: DeltaRational) -> bool:
+        """beta[var] > bound?"""
+        if self._float_prefilter:
+            diff = self._beta_f[var] - self._upper_f[var]
+            if abs(diff) > _FLOAT_GUARD * (1.0 + abs(self._beta_f[var])):
+                return diff > 0.0
+        r = self._beta_r[var]
+        br = bound.real
+        lhs = r.numerator * br.denominator
+        rhs = br.numerator * r.denominator
+        if lhs != rhs:
+            return lhs > rhs
+        d = self._beta_d[var]
+        bd = bound.delta
+        return d.numerator * bd.denominator > bd.numerator * d.denominator
+
     def _update(self, nonbasic: int, value: DeltaRational) -> None:
-        delta = value - self._beta[nonbasic]
-        self._beta[nonbasic] = value
+        beta_r, beta_d = self._beta_r, self._beta_d
+        delta_r = value.real - beta_r[nonbasic]
+        delta_d = value.delta - beta_d[nonbasic]
+        beta_r[nonbasic] = value.real
+        beta_d[nonbasic] = value.delta
+        rows = self._rows
+        mirror = self._float_prefilter
+        zero_d = not delta_d
         for basic in self._cols[nonbasic]:
-            coeff = self._rows[basic][nonbasic]
-            self._beta[basic] = self._beta[basic] + delta * coeff
-            self._suspects.add(basic)
+            coeff = rows[basic][nonbasic]
+            beta_r[basic] += delta_r * coeff
+            if not zero_d:
+                beta_d[basic] += delta_d * coeff
+            if mirror:
+                self._resync_float(basic)
+            self._add_suspect(basic)
+        if mirror:
+            self._resync_float(nonbasic)
+
+    def _resync_float(self, var: int) -> None:
+        """Refresh the float mirror of ``var`` from its exact value.
+
+        The mirror is *recomputed*, never incrementally updated: an
+        accumulated ``+=`` mirror can drift arbitrarily far from the exact
+        value through catastrophic cancellation, which would let the
+        pre-filter answer a comparison confidently and wrongly.  A fresh
+        conversion is within 1 ulp of the exact value, so the relative
+        guard band in :meth:`_below`/:meth:`_above` keeps the filter sound.
+        """
+        r = self._beta_r[var]
+        try:
+            self._beta_f[var] = r.numerator / r.denominator
+        except OverflowError:
+            # Magnitude beyond float range: force the exact fallback.
+            self._beta_f[var] = float("nan")
 
     # ------------------------------------------------------------------
     # Check (Bland's rule)
@@ -182,71 +323,91 @@ class Simplex:
                 if self._is_basic[var]:
                     continue
                 lo, up = self._lower[var], self._upper[var]
-                if lo is not None and self._beta[var] < lo:
+                if lo is not None and self._below(var, lo):
                     self._update(var, lo)
-                elif up is not None and self._beta[var] > up:
+                elif up is not None and self._above(var, up):
                     self._update(var, up)
             self._dirty.clear()
+        suspects, heap = self._suspects, self._suspects_heap
         while True:
             # Bland's rule over the suspect set: the smallest-index
             # violating basic variable (every violating basic is a
             # suspect by the maintenance invariant).
             violating = -1
             below = False
-            cleared = []
-            for var in sorted(self._suspects):
+            while heap:
+                var = heappop(heap)
+                if var not in suspects:
+                    continue  # stale heap entry (already popped once)
+                suspects.discard(var)
                 if not self._is_basic[var]:
-                    cleared.append(var)
                     continue
                 lo, up = self._lower[var], self._upper[var]
-                if lo is not None and self._beta[var] < lo:
+                if lo is not None and self._below(var, lo):
                     violating, below = var, True
                     break
-                if up is not None and self._beta[var] > up:
+                if up is not None and self._above(var, up):
                     violating, below = var, False
                     break
-                cleared.append(var)
-            for var in cleared:
-                self._suspects.discard(var)
             if violating < 0:
                 return None
             row = self._rows[violating]
+            pivot_var = -1
             if below:
                 target = self._lower[violating]
-                pivot_var = -1
-                for v in sorted(row):
-                    c = row[v]
-                    if c > 0 and self._can_increase(v):
+                for v, c in row.items():
+                    if (pivot_var < 0 or v < pivot_var) and (
+                        self._can_increase(v) if c > 0 else self._can_decrease(v)
+                    ):
                         pivot_var = v
-                        break
-                    if c < 0 and self._can_decrease(v):
-                        pivot_var = v
-                        break
                 if pivot_var < 0:
+                    # Still violating after the caller backtracks (bounds
+                    # only relax on undo): keep the suspect invariant.
+                    self._add_suspect(violating)
                     return self._explain(violating, below=True)
             else:
                 target = self._upper[violating]
-                pivot_var = -1
-                for v in sorted(row):
-                    c = row[v]
-                    if c < 0 and self._can_increase(v):
+                for v, c in row.items():
+                    if (pivot_var < 0 or v < pivot_var) and (
+                        self._can_decrease(v) if c > 0 else self._can_increase(v)
+                    ):
                         pivot_var = v
-                        break
-                    if c > 0 and self._can_decrease(v):
-                        pivot_var = v
-                        break
                 if pivot_var < 0:
+                    self._add_suspect(violating)
                     return self._explain(violating, below=False)
             assert target is not None
             self._pivot_and_update(violating, pivot_var, target)
 
     def _can_increase(self, var: int) -> bool:
         up = self._upper[var]
-        return up is None or self._beta[var] < up
+        return up is None or self._below_bound(var, up)
 
     def _can_decrease(self, var: int) -> bool:
         lo = self._lower[var]
-        return lo is None or self._beta[var] > lo
+        return lo is None or self._above_bound(var, lo)
+
+    def _below_bound(self, var: int, bound: DeltaRational) -> bool:
+        """beta[var] < bound (no float shortcut: bound may be either side)."""
+        r = self._beta_r[var]
+        br = bound.real
+        lhs = r.numerator * br.denominator
+        rhs = br.numerator * r.denominator
+        if lhs != rhs:
+            return lhs < rhs
+        d = self._beta_d[var]
+        bd = bound.delta
+        return d.numerator * bd.denominator < bd.numerator * d.denominator
+
+    def _above_bound(self, var: int, bound: DeltaRational) -> bool:
+        r = self._beta_r[var]
+        br = bound.real
+        lhs = r.numerator * br.denominator
+        rhs = br.numerator * r.denominator
+        if lhs != rhs:
+            return lhs > rhs
+        d = self._beta_d[var]
+        bd = bound.delta
+        return d.numerator * bd.denominator > bd.numerator * d.denominator
 
     def _explain(self, basic: int, below: bool) -> List[int]:
         """Farkas conflict: the violated bound plus the blocking bounds."""
@@ -269,53 +430,70 @@ class Simplex:
 
     def _pivot_and_update(self, basic: int, nonbasic: int, value: DeltaRational) -> None:
         """Swap ``basic``/``nonbasic`` and set the old basic var to ``value``."""
-        row = self._rows.pop(basic)
+        beta_r, beta_d = self._beta_r, self._beta_d
+        rows, cols = self._rows, self._cols
+        row = rows[basic]
+        rows[basic] = None
         a = row[nonbasic]
         # Solve the row for `nonbasic`: nonbasic = basic/a - sum(others)/a.
-        new_row: Dict[int, Fraction] = {basic: Fraction(1) / a}
+        inv_a = _F1 / a
+        new_row: Dict[int, Fraction] = {basic: inv_a}
         for v, c in row.items():
             if v != nonbasic:
-                new_row[v] = -c / a
+                new_row[v] = -c * inv_a
         # Update beta before rewiring (theta = change of nonbasic).
-        theta = (value - self._beta[basic]) / a
-        self._beta[basic] = value
-        self._beta[nonbasic] = self._beta[nonbasic] + theta
+        theta_r = (value.real - beta_r[basic]) * inv_a
+        theta_d = (value.delta - beta_d[basic]) * inv_a
+        beta_r[basic] = value.real
+        beta_d[basic] = value.delta
+        beta_r[nonbasic] += theta_r
+        beta_d[nonbasic] += theta_d
+        mirror = self._float_prefilter
+        if mirror:
+            self._resync_float(basic)
+            self._resync_float(nonbasic)
         # Incrementally adjust every other basic row that uses `nonbasic`
         # (cheaper than recomputing whole row values after substitution).
-        for b in self._cols[nonbasic]:
+        zero_d = not theta_d
+        for b in cols[nonbasic]:
             if b != basic:
-                self._beta[b] = self._beta[b] + theta * self._rows[b][nonbasic]
-                self._suspects.add(b)
+                coeff = rows[b][nonbasic]
+                beta_r[b] += theta_r * coeff
+                if not zero_d:
+                    beta_d[b] += theta_d * coeff
+                if mirror:
+                    self._resync_float(b)
+                self._add_suspect(b)
         # The entering variable may now violate its own bounds.
-        self._suspects.add(nonbasic)
+        self._add_suspect(nonbasic)
         # Rewire column index for the departing/incoming variables.
         for v in row:
-            self._cols[v].discard(basic)
+            cols[v].discard(basic)
         self._is_basic[basic] = False
         self._is_basic[nonbasic] = True
-        self._cols[basic] = set()
-        self._rows[nonbasic] = new_row
+        cols[basic] = set()
+        rows[nonbasic] = new_row
         for v in new_row:
-            self._cols[v].add(nonbasic)
+            cols[v].add(nonbasic)
         # Substitute `nonbasic` in every other row that used it.
-        users = [b for b in self._cols.pop(nonbasic, set()) if b != nonbasic]
-        self._cols[nonbasic] = set()
+        users = [b for b in cols[nonbasic] if b != nonbasic]
+        cols[nonbasic] = set()
         for b in users:
-            brow = self._rows[b]
+            brow = rows[b]
             k = brow.pop(nonbasic)
             for v, c in new_row.items():
-                nc = brow.get(v, Fraction(0)) + k * c
+                nc = brow.get(v, _F0) + k * c
                 if nc == 0:
                     brow.pop(v, None)
-                    self._cols[v].discard(b)
+                    cols[v].discard(b)
                 else:
                     brow[v] = nc
-                    self._cols[v].add(b)
+                    cols[v].add(b)
         # `basic` is now nonbasic: it appears in rows (at least new_row).
-        self._cols[basic].add(nonbasic)
+        cols[basic].add(nonbasic)
         for b in users:
-            if basic in self._rows[b]:
-                self._cols[basic].add(b)
+            if basic in rows[b]:
+                cols[basic].add(b)
 
     # ------------------------------------------------------------------
     # Model extraction
@@ -326,16 +504,35 @@ class Simplex:
         pairs = []
         for var in range(self._n):
             lo, up = self._lower[var], self._upper[var]
-            beta = self._beta[var]
+            beta = DeltaRational(self._beta_r[var], self._beta_d[var])
             if lo is not None:
                 pairs.append((lo, beta))
             if up is not None:
                 pairs.append((beta, up))
         eps = materialize_delta(pairs)
-        return [b.real + b.delta * eps for b in self._beta]
+        return [
+            self._beta_r[var] + self._beta_d[var] * eps
+            for var in range(self._n)
+        ]
 
     def value(self, var: int) -> DeltaRational:
-        return self._beta[var]
+        return DeltaRational(self._beta_r[var], self._beta_d[var])
+
+    def lower_bound(self, var: int) -> Optional[DeltaRational]:
+        """Currently asserted lower bound (None if unbounded below)."""
+        return self._lower[var]
+
+    def upper_bound(self, var: int) -> Optional[DeltaRational]:
+        """Currently asserted upper bound (None if unbounded above)."""
+        return self._upper[var]
+
+    def lower_literal(self, var: int) -> int:
+        """Literal id that asserted the current lower bound (or NO_LIT)."""
+        return self._lower_lit[var]
+
+    def upper_literal(self, var: int) -> int:
+        """Literal id that asserted the current upper bound (or NO_LIT)."""
+        return self._upper_lit[var]
 
     # ------------------------------------------------------------------
     # Debug helpers
@@ -343,8 +540,11 @@ class Simplex:
 
     def assignment_consistent(self) -> bool:
         """Check that beta satisfies all rows (invariant; for tests)."""
-        for basic in self._rows:
-            if self._row_value(basic) != self._beta[basic]:
+        for basic, row in enumerate(self._rows):
+            if row is None:
+                continue
+            r, d = self._row_value(basic)
+            if r != self._beta_r[basic] or d != self._beta_d[basic]:
                 return False
         return True
 
@@ -352,8 +552,38 @@ class Simplex:
         """Check that beta satisfies all bounds (true right after check())."""
         for var in range(self._n):
             lo, up = self._lower[var], self._upper[var]
-            if lo is not None and self._beta[var] < lo:
+            if lo is not None and self._below_bound(var, lo):
                 return False
-            if up is not None and self._beta[var] > up:
+            if up is not None and self._above_bound(var, up):
                 return False
         return True
+
+    def suspects_invariant_holds(self) -> bool:
+        """Every violating basic variable is in the suspect set (for tests)."""
+        for var in range(self._n):
+            if not self._is_basic[var]:
+                continue
+            lo, up = self._lower[var], self._upper[var]
+            violated = (lo is not None and self._below_bound(var, lo)) or (
+                up is not None and self._above_bound(var, up)
+            )
+            if violated and var not in self._suspects:
+                return False
+        return True
+
+    def dirty_invariant_holds(self) -> bool:
+        """Every out-of-bounds *nonbasic* variable is marked dirty."""
+        for var in range(self._n):
+            if self._is_basic[var]:
+                continue
+            lo, up = self._lower[var], self._upper[var]
+            violated = (lo is not None and self._below_bound(var, lo)) or (
+                up is not None and self._above_bound(var, up)
+            )
+            if violated and var not in self._dirty:
+                return False
+        return True
+
+
+_F0 = Fraction(0)
+_F1 = Fraction(1)

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import itertools
 
+from collections import deque
 from fractions import Fraction
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -61,7 +62,29 @@ _SCOPE_IDS = itertools.count()
 
 #: Statistics keys reported per ``check()`` (monotone counters of the SAT
 #: core whose per-call delta is meaningful).
-_CHECK_STAT_KEYS = ("conflicts", "decisions", "propagations", "restarts")
+_CHECK_STAT_KEYS = (
+    "conflicts",
+    "decisions",
+    "propagations",
+    "theory_propagations",
+    "restarts",
+)
+
+#: Per-check statistics of every Solver in this process, in check() order.
+#: The benchmark harness (:mod:`repro.eval.bench`) drains this to build a
+#: solve trajectory without threading a recorder through the experiment
+#: runners.  A bounded ring buffer: processes that never drain (services,
+#: portfolio workers) keep only the most recent entries instead of leaking
+#: one dict per check() forever.
+_CHECK_STATS_CAP = 10_000
+_GLOBAL_CHECK_STATS: "deque[Dict[str, int]]" = deque(maxlen=_CHECK_STATS_CAP)
+
+
+def drain_global_check_stats() -> List[Dict[str, int]]:
+    """Return and clear the per-check stats accumulated in this process."""
+    out = list(_GLOBAL_CHECK_STATS)
+    _GLOBAL_CHECK_STATS.clear()
+    return out
 
 
 class CheckResult:
@@ -134,10 +157,20 @@ class Model:
 
 
 class Solver:
-    """Incremental DPLL(T) solver for QF_LRA + Booleans."""
+    """Incremental DPLL(T) solver for QF_LRA + Booleans.
 
-    def __init__(self) -> None:
-        self._theory = LraTheory()
+    ``theory_propagation`` (default on) lets the theory assign implied
+    atoms instead of branching on them — the ``theory_propagations``
+    statistic counts them; turn it off to A/B the search behaviour (the
+    equivalence tests do).  ``float_prefilter`` answers clear-cut simplex
+    bound comparisons in floating point, falling back to exact rational
+    arithmetic on near-ties (opt-in; exact is the default).
+    """
+
+    def __init__(self, theory_propagation: bool = True,
+                 float_prefilter: bool = False) -> None:
+        self._theory = LraTheory(propagation=theory_propagation,
+                                 float_prefilter=float_prefilter)
         self._sat = SatSolver(self._theory)
         self._cnf = CnfConverter(self._sat, self._theory)
         self._assertions: list[BoolExpr] = []
@@ -224,8 +257,10 @@ class Solver:
         solved = self._sat.solve(lits)
         after = self._sat.statistics
         self._last_check_stats = {
-            key: after[key] - before[key] for key in _CHECK_STAT_KEYS
+            key: after.get(key, 0) - before.get(key, 0)
+            for key in _CHECK_STAT_KEYS
         }
+        _GLOBAL_CHECK_STATS.append(dict(self._last_check_stats))
         if solved:
             bools = {
                 bv: self._sat.model_value(satvar)

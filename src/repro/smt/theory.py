@@ -4,7 +4,12 @@ Atom lifecycle:
 
 1. At encoding time, :meth:`LraTheory.register_atom` maps each unique
    :class:`~repro.smt.terms.Atom` to a SAT variable and precomputes, for
-   both phases of that variable, the bound assertions to perform.
+   both phases of that variable, the bound assertions to perform.  Atoms
+   whose coefficient vectors are exact negations of each other share one
+   *canonical* slack variable (the orientation with a positive leading
+   coefficient): ``x - y <= 5`` and ``y - x <= -7`` both talk about the
+   bounds of the same simplex variable, which makes bound propagation see
+   their interaction.
 2. During search, the SAT core feeds every trail literal to
    :meth:`on_assert`.  Difference atoms are asserted *eagerly* into the
    difference-logic engine (cheap, catches the vast majority of scheduling
@@ -12,7 +17,17 @@ Atom lifecycle:
    Asserting a *general* atom (non-difference, e.g. the paper's stability
    constraints) additionally triggers a full simplex check because such
    atoms interact with difference chains in ways the DL engine cannot see.
-3. At a full propositional assignment, :meth:`final_check` runs the exact
+3. When propagation reaches fixpoint without conflict, the SAT core calls
+   :meth:`propagate`: every simplex variable whose bound was tightened is
+   scanned for registered atoms that the new bound *entails* (asserting
+   ``s <= 5`` entails the unassigned atom ``s <= 7``, and refutes
+   ``s >= 6``).  Implied literals ship with a lazy one-literal explanation
+   (the bound's asserting literal), so the SAT core assigns them instead
+   of branching — the theory-propagation step of Dutertre & de Moura's
+   DPLL(T) design.  Propagations lost to backjumping are *not* replayed
+   (they re-arise through search); this keeps the hook allocation-free on
+   the no-change path.
+4. At a full propositional assignment, :meth:`final_check` runs the exact
    simplex over everything, certifying the model; the concrete rational
    model is snapshotted there (before the SAT core backtracks).
 """
@@ -23,11 +38,12 @@ from fractions import Fraction
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import SolverError
+from ..sat.literals import UNASSIGNED as _UNASSIGNED
 from ..sat.literals import is_positive, var_of
-from ..sat.solver import TheoryBackend
+from ..sat.solver import TheoryBackend, TheoryImplication
 from .difflogic import DifferenceLogic
 from .rationals import DeltaRational
-from .simplex import Simplex
+from .simplex import NO_LIT, Simplex
 from .terms import Atom, RealVar
 
 
@@ -50,17 +66,41 @@ class _PhaseAction:
         self.dl_edge = dl_edge
 
 
+class _AtomWatch:
+    """A registered atom, watched on its simplex variable for propagation.
+
+    ``pos_lit``/``neg_lit`` are the internal SAT literals of the two
+    phases; the phase bounds describe when the current variable bounds
+    entail each phase (see :meth:`LraTheory.propagate`).
+    """
+
+    __slots__ = ("sat_var", "pos_lit", "neg_lit", "pos_is_upper",
+                 "pos_bound", "neg_bound")
+
+    def __init__(self, sat_var: int, pos: _PhaseAction, neg_action: _PhaseAction):
+        self.sat_var = sat_var
+        self.pos_lit = 2 * sat_var
+        self.neg_lit = 2 * sat_var + 1
+        self.pos_is_upper = pos.sx_is_upper
+        self.pos_bound = pos.sx_bound
+        self.neg_bound = neg_action.sx_bound
+
+
 class LraTheory(TheoryBackend):
     """Combined difference-logic + simplex theory with trail alignment."""
 
-    def __init__(self) -> None:
+    def __init__(self, propagation: bool = True,
+                 float_prefilter: bool = False) -> None:
         self.dl = DifferenceLogic()
-        self.simplex = Simplex()
+        self.simplex = Simplex(float_prefilter=float_prefilter)
+        self.propagation = propagation
         self._real_to_sx: Dict[RealVar, int] = {}
         self._real_to_dl: Dict[RealVar, int] = {}
         self._slack_cache: Dict[Tuple, int] = {}
         # SAT var -> (positive-phase action, negative-phase action, general?)
         self._atoms: Dict[int, Tuple[_PhaseAction, _PhaseAction, bool]] = {}
+        # Simplex var -> atoms whose phases are bounds on that var.
+        self._watches: Dict[int, List[_AtomWatch]] = {}
         # Undo marks, parallel to the SAT trail.
         self._marks: List[Tuple[int, int]] = []
         self._model_reals: Optional[Dict[RealVar, Fraction]] = None
@@ -91,7 +131,6 @@ class LraTheory(TheoryBackend):
         if not coeffs:
             raise SolverError("constant atom should have been folded away")
         is_difference = False
-        dl_pos = dl_neg = None
 
         if len(coeffs) == 1:
             (v, c), = coeffs
@@ -118,30 +157,55 @@ class LraTheory(TheoryBackend):
             else:
                 x, y, b = v2, v1, rhs / c2
             nx, ny = self.dl_node(x), self.dl_node(y)
-            s = self._slack_for(coeffs)
+            s, flip = self._slack_for(coeffs)
             # Atom <=> x - y <= b (strict?);  neg: x - y > b <=> y - x < -b.
-            # The simplex slack is the literal sum(coeffs), so its bounds
-            # stay in the rhs scale while the DL edge uses the b scale.
+            # The simplex slack is the canonical-orientation sum(coeffs), so
+            # its bounds stay in the rhs scale (negated when this atom is
+            # the flipped orientation) while the DL edge uses the b scale.
             pos_bound = _upper(b, strict)
             neg_bound = _lower_of_neg_le(b, strict)
-            pos = _PhaseAction(s, True, _upper(rhs, strict), (nx, ny, pos_bound))
-            neg = _PhaseAction(s, False, _lower_of_neg_le(rhs, strict),
-                               (ny, nx, -neg_bound))
+            pos_sx = _upper(rhs, strict)
+            neg_sx = _lower_of_neg_le(rhs, strict)
+            if flip:
+                pos = _PhaseAction(s, False, -pos_sx, (nx, ny, pos_bound))
+                neg = _PhaseAction(s, True, -neg_sx, (ny, nx, -neg_bound))
+            else:
+                pos = _PhaseAction(s, True, pos_sx, (nx, ny, pos_bound))
+                neg = _PhaseAction(s, False, neg_sx, (ny, nx, -neg_bound))
             is_difference = True
         else:
-            s = self._slack_for(coeffs)
-            pos = _PhaseAction(s, True, _upper(rhs, strict), None)
-            neg = _PhaseAction(s, False, _lower_of_neg_le(rhs, strict), None)
+            s, flip = self._slack_for(coeffs)
+            if flip:
+                pos = _PhaseAction(s, False, -_upper(rhs, strict), None)
+                neg = _PhaseAction(s, True, -_lower_of_neg_le(rhs, strict), None)
+            else:
+                pos = _PhaseAction(s, True, _upper(rhs, strict), None)
+                neg = _PhaseAction(s, False, _lower_of_neg_le(rhs, strict), None)
 
         self._atoms[sat_var] = (pos, neg, not is_difference)
+        self._watches.setdefault(pos.sx_var, []).append(
+            _AtomWatch(sat_var, pos, neg)
+        )
+        self.simplex.watch_var(pos.sx_var)
 
-    def _slack_for(self, coeffs: Tuple[Tuple[RealVar, Fraction], ...]) -> int:
+    def _slack_for(self, coeffs: Tuple[Tuple[RealVar, Fraction], ...]) -> Tuple[int, bool]:
+        """Canonical slack variable for a coefficient vector.
+
+        Returns ``(simplex_var, flipped)``: vectors that differ only by an
+        overall sign share the canonical variable (leading coefficient
+        positive); ``flipped`` tells the caller to negate bounds/senses.
+        """
+        flip = coeffs[0][1] < 0
+        if flip:
+            coeffs = tuple((v, -c) for v, c in coeffs)
         key = tuple((v.name, c) for v, c in coeffs)
-        s = self._slack_cache.get(key)
-        if s is None:
+        entry = self._slack_cache.get(key)
+        if entry is None:
             s = self.simplex.add_row({self.sx_var(v): c for v, c in coeffs})
             self._slack_cache[key] = s
-        return s
+        else:
+            s = entry
+        return s, flip
 
     # ------------------------------------------------------------------
     # TheoryBackend protocol
@@ -175,6 +239,54 @@ class LraTheory(TheoryBackend):
             self.dl.undo_to(dl_mark)
             self.simplex.undo_to(sx_mark)
             del self._marks[n_kept:]
+
+    def propagate(self, assigns) -> List[TheoryImplication]:
+        """Unassigned atoms entailed by freshly tightened simplex bounds.
+
+        For a watch on variable ``s`` with positive phase ``s <= B`` (and
+        negative phase ``s >= NB``): an upper bound ``U <= B`` entails the
+        positive literal, a lower bound ``L >= NB`` entails the negative
+        one (symmetrically for lower-sense positive phases).  Explanations
+        are single bound literals, delivered lazily.  Atoms already
+        assigned are skipped via ``assigns`` before any comparison or
+        allocation — a false-assigned atom whose opposite phase becomes
+        entailed cannot reach this hook, because both phases bound the
+        same canonical simplex variable and the bound pair conflicts
+        inside ``on_assert`` first.
+        """
+        touched = self.simplex.touched_bounds
+        if not self.propagation or not touched:
+            if touched:
+                touched.clear()
+            return []
+        out: List[TheoryImplication] = []
+        sx = self.simplex
+        unassigned = _UNASSIGNED
+        for var in touched:
+            watches = self._watches.get(var)
+            if not watches:
+                continue
+            lo = sx.lower_bound(var)
+            up = sx.upper_bound(var)
+            lo_lit = sx.lower_literal(var)
+            up_lit = sx.upper_literal(var)
+            for w in watches:
+                if assigns[w.sat_var] != unassigned:
+                    continue
+                if w.pos_is_upper:
+                    # pos: var <= pos_bound; neg: var >= neg_bound.
+                    if up is not None and up_lit != NO_LIT and up <= w.pos_bound:
+                        out.append((w.pos_lit, (up_lit,)))
+                    elif lo is not None and lo_lit != NO_LIT and lo >= w.neg_bound:
+                        out.append((w.neg_lit, (lo_lit,)))
+                else:
+                    # pos: var >= pos_bound; neg: var <= neg_bound.
+                    if lo is not None and lo_lit != NO_LIT and lo >= w.pos_bound:
+                        out.append((w.pos_lit, (lo_lit,)))
+                    elif up is not None and up_lit != NO_LIT and up <= w.neg_bound:
+                        out.append((w.neg_lit, (up_lit,)))
+        touched.clear()
+        return out
 
     def final_check(self) -> Optional[List[int]]:
         conflict = self.simplex.check()

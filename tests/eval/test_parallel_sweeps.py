@@ -1,0 +1,38 @@
+"""Parallel figure sweeps must be result-identical to the serial runs."""
+
+from repro.eval import run_fig4, run_fig5, run_fig6
+
+
+def _fig4_key(result):
+    return {
+        stages: [(p.seed, p.n_messages, p.status) for p in pts]
+        for stages, pts in result.points.items()
+    }
+
+
+def test_fig4_jobs_matches_serial():
+    kwargs = dict(n_problems=2, stages_list=(2,), routes=2, n_apps=3)
+    serial = run_fig4(**kwargs)
+    pooled = run_fig4(**kwargs, jobs=2)
+    assert _fig4_key(serial) == _fig4_key(pooled)
+
+
+def test_fig5_jobs_matches_serial():
+    kwargs = dict(n_problems=2, stages_list=(2, 3), routes=2, n_apps=3)
+    serial = run_fig5(**kwargs)
+    pooled = run_fig5(**kwargs, jobs=2)
+    assert serial.unsolved_pct == pooled.unsolved_pct
+
+
+def test_fig6_jobs_matches_serial():
+    kwargs = dict(n_problems=1, routes_list=(1, 2), stages=2, n_apps=3)
+    serial = run_fig6(**kwargs)
+    pooled = run_fig6(**kwargs, jobs=2)
+    assert serial.unsolved_pct == pooled.unsolved_pct
+    assert {
+        r: [(p.n_messages, p.status) for p in pts]
+        for r, pts in serial.points.items()
+    } == {
+        r: [(p.n_messages, p.status) for p in pts]
+        for r, pts in pooled.points.items()
+    }
