@@ -31,9 +31,9 @@ def main() -> None:
     print(result.render())
 
     # Replay the stability-aware schedule on the TSN switch simulator.
-    from repro.core import SynthesisOptions, synthesize
+    from repro.core import SynthesisOptions, solve
 
-    res = synthesize(problem, SynthesisOptions(routes=3, stages=5))
+    res = solve(problem, SynthesisOptions(routes=3, stages=5))
     if res.ok:
         trace = simulate_solution(res.solution)
         cross_check_e2e(res.solution, trace)

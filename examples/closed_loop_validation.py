@@ -24,7 +24,7 @@ from repro.core import (
     ControlApplication,
     SynthesisOptions,
     SynthesisProblem,
-    synthesize,
+    solve,
 )
 from repro.network import DelayModel, microseconds, simple_testbed
 from repro.sim import simulate_solution
@@ -45,7 +45,7 @@ def main() -> None:
         for i in range(3)
     ]
     problem = SynthesisProblem(net, apps, delays)
-    result = synthesize(problem, SynthesisOptions(routes=2))
+    result = solve(problem, SynthesisOptions(routes=2))
     assert result.ok
     solution = result.solution
     trace = simulate_solution(solution)

@@ -10,7 +10,7 @@ Run:  python examples/heuristics_scaling.py [n_apps]   (default 5)
 
 import sys
 
-from repro.core import SynthesisOptions, synthesize, validate_solution
+from repro.core import SynthesisOptions, solve, validate_solution
 from repro.eval import random_problem
 
 
@@ -24,7 +24,7 @@ def main() -> None:
     print("Incremental synthesis (routes = 4):")
     print("stages   status   time (s)   conflicts")
     for stages in (1, 2, 3, 5, 9):
-        res = synthesize(problem, SynthesisOptions(routes=4, stages=stages))
+        res = solve(problem, SynthesisOptions(routes=4, stages=stages))
         print(f"{stages:6d}   {res.status:6s}  {res.synthesis_time:8.2f}   "
               f"{res.statistics['conflicts']:9d}")
         if res.ok:
@@ -33,7 +33,7 @@ def main() -> None:
     print("\nRoute subsets (stages = 5):")
     print("routes   status   time (s)")
     for routes in (1, 2, 3, 5, 8):
-        res = synthesize(problem, SynthesisOptions(routes=routes, stages=5))
+        res = solve(problem, SynthesisOptions(routes=routes, stages=5))
         print(f"{routes:6d}   {res.status:6s}  {res.synthesis_time:8.2f}")
 
     print("\nNote: as in the paper, the heuristics only explore a subset of")

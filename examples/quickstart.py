@@ -15,7 +15,7 @@ from repro.core import (
     ControlApplication,
     SynthesisOptions,
     SynthesisProblem,
-    synthesize,
+    solve,
     validate_solution,
 )
 from repro.network import DelayModel, microseconds, simple_testbed
@@ -54,7 +54,7 @@ def main() -> None:
     print(f"\nsynthesizing {problem.num_messages} messages "
           f"(hyper-period {float(problem.hyperperiod) * 1000:.0f} ms)...")
 
-    result = synthesize(problem, SynthesisOptions(routes=2, stages=1))
+    result = solve(problem, SynthesisOptions(routes=2, stages=1))
     assert result.ok, "synthesis failed"
     solution = result.solution
     print(f"solved in {result.synthesis_time:.2f} s "

@@ -5,6 +5,7 @@ Public API re-exports: the most common entry points from each subpackage.
 See README.md for the architecture and DESIGN.md for the system inventory.
 """
 
+from .api import CheckOutcome, Session
 from .core import (
     ControlApplication,
     MODE_DEADLINE,
@@ -13,6 +14,7 @@ from .core import (
     SynthesisOptions,
     SynthesisProblem,
     SynthesisResult,
+    solve,
     synthesize,
     validate_solution,
 )
@@ -46,6 +48,7 @@ from .stability import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "CheckOutcome",
     "ControlApplication",
     "ControlDesignError",
     "DelayModel",
@@ -56,6 +59,7 @@ __all__ = [
     "Network",
     "PortfolioResult",
     "ReproError",
+    "Session",
     "SimulationError",
     "Solution",
     "SolverError",
@@ -76,6 +80,7 @@ __all__ = [
     "jitter_margin",
     "simple_testbed",
     "simulate_solution",
+    "solve",
     "synthesize",
     "synthesize_portfolio",
     "validate_solution",

@@ -1,0 +1,82 @@
+"""The rich result object returned by :meth:`repro.api.Session.check`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..errors import SolverError
+from ..smt.solver import CheckResult, Model
+from ..smt.terms import BoolExpr
+
+
+@dataclass(eq=False)
+class CheckOutcome:
+    """Everything one ``check()`` produced.
+
+    Compares equal to the strings ``"sat"`` / ``"unsat"`` / ``"unknown"``
+    (and to :class:`~repro.smt.CheckResult` values, and to other
+    outcomes) by its status, and hashes consistently with them, so
+    callers can write ``if outcome == "unsat"`` or key dicts by either
+    form without ``str(...)`` conversions.
+
+    Attributes:
+        status: ``sat`` / ``unsat`` / ``unknown``.
+        model: the satisfying assignment (``status == sat`` only; may be
+            ``None`` for backends that cannot produce models, e.g. a
+            pure serialization run).
+        statistics: this check's search-effort counters (per-check
+            deltas, not cumulative).
+        unsat_core: on unsat under assumptions, the failed-assumption
+            subset (deletion-minimized unless the session disables it).
+            An *empty* tuple means the assertions are unsat regardless of
+            the assumptions; ``None`` means no core is available (sat,
+            unknown, or an assumption-free check).
+        assumptions: the assumption formulas this check ran under.
+        backend: name of the backend that answered.
+        wall_time: seconds spent in the backend for this check.
+    """
+
+    status: CheckResult
+    model: Optional[Model] = None
+    statistics: Dict[str, int] = field(default_factory=dict)
+    unsat_core: Optional[Tuple[BoolExpr, ...]] = None
+    assumptions: Tuple[BoolExpr, ...] = ()
+    backend: str = "native"
+    wall_time: float = 0.0
+
+    def __bool__(self) -> bool:
+        return self.status == "sat"
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, CheckOutcome):
+            return self.status == other.status
+        if isinstance(other, (CheckResult, str)):
+            return self.status == other
+        return NotImplemented
+
+    def __ne__(self, other) -> bool:
+        eq = self.__eq__(other)
+        if eq is NotImplemented:
+            return NotImplemented
+        return not eq
+
+    def __hash__(self) -> int:
+        return hash(self.status)
+
+    def __repr__(self) -> str:
+        parts = [f"CheckOutcome({self.status}"]
+        if self.unsat_core is not None:
+            parts.append(f", core={len(self.unsat_core)} of "
+                         f"{len(self.assumptions)} assumptions")
+        parts.append(f", backend={self.backend!r})")
+        return "".join(parts)
+
+    def require_model(self) -> Model:
+        """The model, or a :class:`SolverError` explaining its absence."""
+        if self.model is None:
+            raise SolverError(
+                f"no model: check() answered {self.status} on the "
+                f"{self.backend!r} backend"
+            )
+        return self.model

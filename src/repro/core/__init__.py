@@ -16,6 +16,7 @@ from .synthesizer import (
     MODE_STABILITY,
     SynthesisOptions,
     SynthesisResult,
+    solve,
     synthesize,
 )
 from .validator import collect_violations, validate_solution
@@ -39,6 +40,7 @@ __all__ = [
     "SynthesisProblem",
     "SynthesisResult",
     "collect_violations",
+    "solve",
     "synthesize",
     "validate_solution",
 ]

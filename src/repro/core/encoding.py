@@ -189,7 +189,8 @@ class Encoder:
                 (fixed.uid, None, start)
             )
 
-    def freeze_message(self, plan: MessagePlan, model, pin: bool = True) -> FixedMessage:
+    def freeze_message(self, plan: MessagePlan, model, pin: bool = True,
+                       guard: Optional[BoolExpr] = None) -> FixedMessage:
         """Extract ``plan``'s schedule from ``model`` and optionally pin it.
 
         This is the incremental-synthesis freeze: instead of re-encoding a
@@ -198,6 +199,11 @@ class Encoder:
         in the same solver, so later stages see the earlier schedule while
         all learned clauses stay valid.  ``pin=False`` only extracts (used
         for the final stage, where nothing solves after it).
+
+        With ``guard`` the equalities are asserted under that literal
+        (``guard -> eq``) instead of permanently: assuming the guard on
+        later checks enforces the freeze, and dropping it re-opens the
+        message — the lever of core-driven stage repair.
         """
         selected = [r for r, sel in enumerate(plan.selectors) if model[sel]]
         if len(selected) != 1:
@@ -211,12 +217,18 @@ class Encoder:
             gammas[node] = model[plan.gammas[node]]
         e2e = model[plan.e2e_by_route[choice]]
         if pin:
-            self.solver.add(plan.selectors[choice])
-            for r, sel in enumerate(plan.selectors):
-                if r != choice:
-                    self.solver.add(Not(sel))
-            for node, value in gammas.items():
-                self.solver.add(plan.gammas[node] == value)
+            pinned = [plan.selectors[choice]]
+            pinned.extend(
+                Not(sel) for r, sel in enumerate(plan.selectors) if r != choice
+            )
+            pinned.extend(
+                plan.gammas[node] == value for node, value in gammas.items()
+            )
+            for constraint in pinned:
+                if guard is not None:
+                    self.solver.add(Implies(guard, constraint))
+                else:
+                    self.solver.add(constraint)
         return FixedMessage(
             uid=plan.message.uid,
             app=plan.message.flow.name,

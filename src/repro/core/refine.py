@@ -16,8 +16,9 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, Optional
 
+from ..api import Session
 from ..errors import EncodingError
-from ..smt import LinExpr, Solver, Sum
+from ..smt import LinExpr, Sum
 from ..smt.optimize import OptimizeResult, minimize
 from .encoding import Encoder
 from .problem import SynthesisProblem
@@ -51,8 +52,8 @@ def minimize_jitter(
     ``"sat"``) or a certified near-optimum (status ``"optimal"``).
     """
     problem.require_stability_specs()
-    solver = Solver()
-    encoder = Encoder(problem, solver, routes, path_cutoff)
+    session = Session()
+    encoder = Encoder(problem, session, routes, path_cutoff)
     for message in problem.messages:
         encoder.encode_message(message)
     encoder.add_contention_constraints()
@@ -62,9 +63,12 @@ def minimize_jitter(
         jitters.append(lmax - lmin)
     objective = Sum(jitters)
 
+    # The constraints are already asserted in the session; the optimizer
+    # probes it with push()/pop() bound scopes (no re-encoding).
     result: OptimizeResult = minimize(
-        solver.assertions, objective,
+        [], objective,
         lower_bound=0, tolerance=tolerance, max_probes=max_probes,
+        session=session,
     )
     if not result.ok:
         return RefinedResult("unsat", None, None, result.probes)

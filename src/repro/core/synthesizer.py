@@ -15,30 +15,58 @@
   a subset of the solution space and may fail on solvable instances
   (evaluated in Fig. 5 / Fig. 6).
 
-The whole run — however many stages — uses exactly **one** SMT solver
-and one encoder.  Each stage adds its slice's constraints on top of the
-previous ones, re-checks, and freezes the new messages by asserting
-their model values as equalities (:meth:`Encoder.freeze_message`), so
-clauses learned in earlier stages keep pruning later ones instead of
-being rebuilt from scratch per stage.
+The whole run — however many stages — uses exactly **one** solving
+session (:class:`repro.api.Session`, backend selectable via
+``SynthesisOptions.backend``) and one encoder.  Each stage adds its
+slice's constraints on top of the previous ones, re-checks, and freezes
+the new messages by asserting their model values as equalities
+(:meth:`Encoder.freeze_message`), so clauses learned in earlier stages
+keep pruning later ones instead of being rebuilt from scratch per stage.
+
+On top of the plain per-stage solve the driver leans on the session
+API's assumption machinery:
+
+* **Route probing** (``probe_routes``, on by default): before the full
+  stage solve, the stage's messages are *assumed* onto their first
+  (shortest) candidate routes — a plain assumption check, nothing
+  asserted.  If the probe is sat its model is used directly; if not,
+  the probe's minimized unsat core names exactly the conflicting
+  shortest-route choices, those are released, and the remainder is
+  re-probed before falling back to the unrestricted stage solve
+  (statistics: ``assumption_probes``, ``cores_extracted``).
+* **Core-driven stage repair** (``repair``, opt-in): stage freezes are
+  guarded by per-message assumption literals instead of permanent
+  equalities.  When a later stage is infeasible, the failing check's
+  unsat core names the frozen messages responsible; the driver unfreezes
+  exactly those and re-solves the stage jointly with them
+  (``stage_repairs``), recovering instances the plain incremental
+  heuristic loses.  Off by default so the paper's Fig. 5/6 heuristic-
+  failure rates stay reproducible.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
+from ..api import NativeBackend, Session
 from ..errors import EncodingError
 from ..network.frames import MessageInstance
-from ..smt import Solver, sat
-from .encoding import Encoder, FixedMessage
+from ..smt.solver import SolverEngine as Solver  # patchable engine factory
+from ..smt.terms import Bool, BoolExpr
+from .encoding import Encoder, FixedMessage, MessagePlan
 from .problem import SynthesisProblem
 from .solution import MessageSchedule, Solution
 
 MODE_STABILITY = "stability"
 MODE_DEADLINE = "deadline"
+
+#: Solver search-effort counters aggregated into result statistics.
+_SOLVER_KEYS = ("conflicts", "decisions", "propagations",
+                "theory_propagations")
 
 
 @dataclass(frozen=True)
@@ -52,12 +80,25 @@ class SynthesisOptions:
             (``None`` = all simple routes, the basic formulation).
         stages: number of incremental time slices (1 = monolithic).
         path_cutoff: optional hop bound when enumerating all routes.
+        backend: solving backend for the run's session (``"native"`` or
+            ``"serialization"``; see :mod:`repro.api.backends`).
+        probe_routes: probe shortest-route selections with assumptions
+            before each full stage solve (complete: falls back on the
+            unrestricted solve, so statuses never change).
+        repair: guard stage freezes with assumption literals and use
+            unsat cores to unfreeze/re-solve when a stage fails (may
+            solve instances the plain heuristic cannot).
+        max_repair_rounds: cap on unfreeze/re-solve iterations per stage.
     """
 
     mode: str = MODE_STABILITY
     routes: Optional[int] = None
     stages: int = 1
     path_cutoff: Optional[int] = None
+    backend: str = "native"
+    probe_routes: bool = True
+    repair: bool = False
+    max_repair_rounds: int = 3
 
     def __post_init__(self) -> None:
         if self.mode not in (MODE_STABILITY, MODE_DEADLINE):
@@ -66,20 +107,27 @@ class SynthesisOptions:
             raise EncodingError("routes must be >= 1 (or None for all)")
         if self.stages < 1:
             raise EncodingError("stages must be >= 1")
+        if self.max_repair_rounds < 0:
+            raise EncodingError("max_repair_rounds must be >= 0")
 
 
 @dataclass
 class SynthesisResult:
     """Outcome of a synthesis run."""
 
-    status: str                      # "sat" or "unsat"
+    status: str                      # "sat", "unsat", or "unknown"
+                                     # (undecided backend)
     solution: Optional[Solution]
     synthesis_time: float
     stages_completed: int
     failed_stage: Optional[int] = None
     statistics: Dict[str, int] = field(default_factory=dict)
-    #: Per-solved-stage search-effort deltas (one entry per non-empty stage).
+    #: Per-solved-stage search-effort deltas (one entry per non-empty
+    #: stage, summed over that stage's probe/repair/full checks).
     stage_statistics: List[Dict[str, int]] = field(default_factory=list)
+    #: On unsat: human-readable labels of the failing check's unsat core
+    #: (frozen messages / probed route selections), when one exists.
+    unsat_explanation: Optional[List[str]] = None
 
     @property
     def ok(self) -> bool:
@@ -99,31 +147,109 @@ def _slice_messages(
     return slices
 
 
-def synthesize(
-    problem: SynthesisProblem, options: Optional[SynthesisOptions] = None
+class _StageAccounting:
+    """Accumulates per-stage and per-run solver statistics."""
+
+    def __init__(self) -> None:
+        self.totals: Dict[str, int] = {key: 0 for key in _SOLVER_KEYS}
+        self.totals.update(assumption_probes=0, cores_extracted=0,
+                           stage_repairs=0)
+        self.stage: Dict[str, int] = {}
+        self.per_stage: List[Dict[str, int]] = []
+
+    def begin_stage(self) -> None:
+        self.stage = {key: 0 for key in _SOLVER_KEYS}
+
+    def absorb(self, outcome) -> None:
+        for key in _SOLVER_KEYS:
+            delta = outcome.statistics.get(key, 0)
+            self.stage[key] += delta
+            self.totals[key] += delta
+
+    def count(self, key: str, n: int = 1) -> None:
+        self.totals[key] = self.totals.get(key, 0) + n
+
+    def end_stage(self) -> None:
+        self.per_stage.append(self.stage)
+
+
+class _FreezeLedger:
+    """Frozen-message bookkeeping for core-driven stage repair.
+
+    In repair mode each frozen message is pinned under a fresh guard
+    literal which is *assumed* on every later check; dropping the guard
+    from the assumption set re-opens the message.  Without repair the
+    ledger is pass-through (permanent freezes, no guards).
+    """
+
+    def __init__(self, enabled: bool) -> None:
+        self.enabled = enabled
+        self.guard_by_uid: Dict[str, BoolExpr] = {}
+        self.uid_by_guard: Dict[BoolExpr, str] = {}
+        self.plans: Dict[str, MessagePlan] = {}
+        self._generation = 0
+
+    def assumptions(self) -> List[BoolExpr]:
+        return list(self.guard_by_uid.values())
+
+    def new_guard(self, uid: str) -> Optional[BoolExpr]:
+        if not self.enabled:
+            return None
+        self._generation += 1
+        guard = Bool(f"__freeze!{self._generation}[{uid}]")
+        self.guard_by_uid[uid] = guard
+        self.uid_by_guard[guard] = uid
+        return guard
+
+    def release(self, guards: Sequence[BoolExpr]) -> List[str]:
+        """Drop the given freeze guards; returns the re-opened uids."""
+        uids = []
+        for guard in guards:
+            uid = self.uid_by_guard.pop(guard, None)
+            if uid is not None and self.guard_by_uid.get(uid) is guard:
+                del self.guard_by_uid[uid]
+                uids.append(uid)
+        return uids
+
+
+def solve(
+    problem: SynthesisProblem,
+    options: Optional[SynthesisOptions] = None,
+    *,
+    session: Optional[Session] = None,
 ) -> SynthesisResult:
-    """Jointly route and schedule all messages of one hyper-period."""
+    """Jointly route and schedule all messages of one hyper-period.
+
+    This is the canonical entry point (the legacy :func:`synthesize`
+    delegates here).  ``session`` injects a caller-owned
+    :class:`repro.api.Session`; by default one is created according to
+    ``options.backend`` and used for the entire run.
+    """
     opts = options or SynthesisOptions()
     if opts.mode == MODE_STABILITY:
         problem.require_stability_specs()
 
     t0 = time.perf_counter()
     slices = _slice_messages(problem, opts.stages)
-    fixed: List[FixedMessage] = []
-    stats: Dict[str, int] = {"conflicts": 0, "decisions": 0,
-                             "propagations": 0, "theory_propagations": 0}
-    stage_stats: List[Dict[str, int]] = []
-    stages_done = 0
+    if session is None:
+        if opts.backend == "native":
+            # The module-level ``Solver`` name is the engine factory the
+            # one-engine-per-run contract tests patch.
+            session = Session(backend=NativeBackend(engine=Solver()))
+        else:
+            session = Session(backend=opts.backend)
+    encoder = Encoder(problem, session, opts.routes, opts.path_cutoff)
 
-    # One solver and one encoder for the entire run: later stages extend
-    # the same formula, so learned clauses and theory state carry forward.
-    solver = Solver()
-    encoder = Encoder(problem, solver, opts.routes, opts.path_cutoff)
+    acct = _StageAccounting()
+    ledger = _FreezeLedger(opts.repair)
+    fixed: Dict[str, FixedMessage] = {}
+    stages_done = 0
 
     for stage_idx, stage_messages in enumerate(slices):
         if not stage_messages:
             stages_done += 1
             continue
+        acct.begin_stage()
         new_plans = [encoder.encode_message(m) for m in stage_messages]
         encoder.add_contention_constraints()
 
@@ -136,25 +262,36 @@ def synthesize(
                     problem.app_by_name[app_name], tag=f"s{stage_idx}"
                 )
 
-        result = solver.check()
-        delta = solver.last_check_statistics
-        stage_stats.append(delta)
-        for key in stats:
-            stats[key] += delta.get(key, 0)
-        if result != sat:
+        outcome = _check_stage(session, opts, acct, ledger, new_plans)
+
+        if outcome != "sat":
+            # An undecided backend (e.g. serialization with engine="none")
+            # must not be reported as proven infeasibility.
             return SynthesisResult(
-                status="unsat",
+                status=outcome.status.name,
                 solution=None,
                 synthesis_time=time.perf_counter() - t0,
                 stages_completed=stages_done,
                 failed_stage=stage_idx,
-                statistics=stats,
-                stage_statistics=stage_stats,
+                statistics=acct.totals,
+                stage_statistics=acct.per_stage + [acct.stage],
+                unsat_explanation=_explain_core(outcome, ledger, encoder),
             )
-        model = solver.model()
+
+        model = outcome.require_model()
         has_later_work = any(slices[stage_idx + 1:])
-        for plan in new_plans:
-            fixed.append(encoder.freeze_message(plan, model, pin=has_later_work))
+        refreeze = [encoder.plans[uid] for uid in ledger.plans
+                    if uid not in ledger.guard_by_uid] if opts.repair else []
+        for plan in refreeze + new_plans:
+            uid = plan.message.uid
+            fm = encoder.freeze_message(
+                plan, model, pin=has_later_work,
+                guard=ledger.new_guard(uid) if has_later_work else None,
+            )
+            fixed[uid] = fm
+            if opts.repair:
+                ledger.plans[uid] = plan
+        acct.end_stage()
         stages_done += 1
 
     elapsed = time.perf_counter() - t0
@@ -167,14 +304,107 @@ def synthesize(
             release=fm.release,
             e2e=fm.e2e,
         )
-        for fm in fixed
+        for fm in fixed.values()
     }
-    solution = Solution(problem, schedules, synthesis_time=elapsed, mode=opts.mode)
+    solution = Solution(problem, schedules, synthesis_time=elapsed,
+                        mode=opts.mode)
     return SynthesisResult(
         status="sat",
         solution=solution,
         synthesis_time=elapsed,
         stages_completed=stages_done,
-        statistics=stats,
-        stage_statistics=stage_stats,
+        statistics=acct.totals,
+        stage_statistics=acct.per_stage,
     )
+
+
+def _check_stage(
+    session: Session,
+    opts: SynthesisOptions,
+    acct: _StageAccounting,
+    ledger: _FreezeLedger,
+    new_plans: List[MessagePlan],
+):
+    """One stage's probe ladder: greedy route probe -> core-relaxed
+    re-probe -> unrestricted solve -> (repair mode) core-driven
+    unfreezing.  Returns the final :class:`CheckOutcome`."""
+    freezes = ledger.assumptions()
+
+    if opts.probe_routes:
+        greedy = [p.selectors[0] for p in new_plans if len(p.selectors) > 1]
+        if greedy:
+            acct.count("assumption_probes")
+            probe = session.check(freezes + greedy)
+            acct.absorb(probe)
+            if probe == "sat":
+                return probe
+            core = set(probe.unsat_core or ())
+            if core:
+                acct.count("cores_extracted")
+            # Release exactly the conflicting shortest-route choices and
+            # try once more — unless the core blames frozen messages
+            # (repair territory) or dissolves the whole probe.
+            relaxed = [g for g in greedy if g not in core]
+            if (core and relaxed and len(relaxed) < len(greedy)
+                    and not core.intersection(freezes)):
+                acct.count("assumption_probes")
+                probe = session.check(freezes + relaxed)
+                acct.absorb(probe)
+                if probe == "sat":
+                    return probe
+
+    outcome = session.check(freezes)
+    acct.absorb(outcome)
+
+    if outcome != "sat" and opts.repair and freezes:
+        rounds = 0
+        while outcome != "sat" and rounds < opts.max_repair_rounds:
+            core = outcome.unsat_core or ()
+            blamed = [g for g in core if g in ledger.uid_by_guard]
+            if not blamed:
+                break  # the freezes are not at fault; genuinely unsat
+            acct.count("cores_extracted")
+            acct.count("stage_repairs")
+            ledger.release(blamed)
+            rounds += 1
+            outcome = session.check(ledger.assumptions())
+            acct.absorb(outcome)
+    return outcome
+
+
+def _explain_core(outcome, ledger: _FreezeLedger, encoder: Encoder):
+    """Human-readable labels for a failing check's unsat core."""
+    if outcome.unsat_core is None:
+        return None
+    labels: List[str] = []
+    selector_names: Dict[BoolExpr, str] = {
+        sel: f"route[{uid}][{r}]"
+        for uid, plan in encoder.plans.items()
+        for r, sel in enumerate(plan.selectors)
+    }
+    for expr in outcome.unsat_core:
+        uid = ledger.uid_by_guard.get(expr)
+        if uid is not None:
+            labels.append(f"frozen[{uid}]")
+        else:
+            labels.append(selector_names.get(expr, repr(expr)))
+    return labels
+
+
+#: One-shot deprecation latch for the legacy ``synthesize`` entry point.
+_SYNTHESIZE_DEPRECATION_WARNED = False
+
+
+def synthesize(
+    problem: SynthesisProblem, options: Optional[SynthesisOptions] = None
+) -> SynthesisResult:
+    """Deprecated alias of :func:`solve` (the session-based driver)."""
+    global _SYNTHESIZE_DEPRECATION_WARNED
+    if not _SYNTHESIZE_DEPRECATION_WARNED:
+        _SYNTHESIZE_DEPRECATION_WARNED = True
+        warnings.warn(
+            "repro.core.synthesize is deprecated; use repro.core.solve",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return solve(problem, options)

@@ -48,8 +48,8 @@ def main(argv=None) -> int:
                              "(default: serial)")
     parser.add_argument("--bench-names", nargs="+", default=None,
                         metavar="NAME",
-                        help="benchmarks to run with 'bench' "
-                             "(default: table1 fig3 fig4)")
+                        help="benchmarks to run with 'bench' (default: "
+                             "table1 fig3 fig4 backends unsat_core)")
     parser.add_argument("--out", default=".",
                         help="directory for BENCH_<name>.json files")
     parser.add_argument("--baseline-dir", default=None,
@@ -68,7 +68,8 @@ def main(argv=None) -> int:
     if args.experiment == "bench":
         from .bench import run_suite
 
-        names = args.bench_names or ["table1", "fig3", "fig4"]
+        names = args.bench_names or ["table1", "fig3", "fig4",
+                                     "backends", "unsat_core"]
         regressions = run_suite(
             names,
             out_dir=args.out,

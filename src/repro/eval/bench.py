@@ -36,6 +36,8 @@ QUICK_SCALES: Dict[str, dict] = {
     "table1": {"n_apps": 4, "routes": 3, "stages": 5},
     "fig3": {"n_points": 13, "n_segments": 3},
     "fig4": {"n_problems": 2, "stages_list": (3, 5), "routes": 3, "n_apps": 5},
+    "backends": {"n_apps": 3, "routes": 2, "stages": 3},
+    "unsat_core": {"routes": 2},
 }
 
 
@@ -85,10 +87,92 @@ def _bench_fig4(scale: dict) -> dict:
     return {"statuses": statuses, "render_digest": _digest(result.render())}
 
 
+def _bench_backends(scale: dict) -> dict:
+    """Native vs serialization backend agreement on the automotive case.
+
+    Runs the same quick-scale synthesis through both registered session
+    backends; any status disagreement is a hard regression (the
+    acceptance gate of the pluggable-backend seam).
+    """
+    from ..core.synthesizer import SynthesisOptions, solve
+    from . import workloads
+
+    n_apps = scale.get("n_apps", 3)
+    routes = scale.get("routes", 2)
+    stages = scale.get("stages", 3)
+    problem = workloads.gm_case_study(n_apps=n_apps)
+    statuses: Dict[str, str] = {}
+    times: Dict[str, float] = {}
+    for backend in ("native", "serialization"):
+        result = solve(problem, SynthesisOptions(
+            routes=routes, stages=stages, backend=backend))
+        statuses[backend] = result.status
+        times[backend] = round(result.synthesis_time, 4)
+    statuses["agreement"] = (
+        "ok" if statuses["native"] == statuses["serialization"] else "MISMATCH"
+    )
+    return {
+        "statuses": statuses,
+        "solve_times": times,
+        "render_digest": _digest(repr(sorted(statuses.items()))),
+    }
+
+
+def _bench_unsat_core(scale: dict) -> dict:
+    """Assumption probing and unsat-core extraction on funnel workloads.
+
+    Three deterministic instances: a satisfiable funnel whose shortest-
+    route probe must fail (core-guided relaxation), an infeasible funnel
+    (unsat outright), and the staged-heuristic trap that core-driven
+    repair recovers.  Statuses and the probe/core counters are the
+    regression surface.
+    """
+    from fractions import Fraction
+
+    from ..core.synthesizer import SynthesisOptions, solve
+    from . import workloads
+
+    routes = scale.get("routes", 2)
+    statuses: Dict[str, str] = {}
+    counters: Dict[str, int] = {
+        "assumption_probes": 0, "cores_extracted": 0, "stage_repairs": 0,
+    }
+
+    def absorb(result) -> None:
+        for key in counters:
+            counters[key] += result.statistics.get(key, 0)
+
+    probe = solve(workloads.bottleneck_problem(3, islands=1),
+                  SynthesisOptions(routes=routes))
+    statuses["probe_conflict"] = probe.status
+    absorb(probe)
+    infeasible = solve(
+        workloads.bottleneck_problem(3, period=Fraction(35, 10000)),
+        SynthesisOptions(routes=routes))
+    statuses["infeasible"] = infeasible.status
+    absorb(infeasible)
+    trapped = solve(workloads.bottleneck_repair_problem(),
+                    SynthesisOptions(routes=routes, stages=2))
+    statuses["staged_trap"] = trapped.status
+    absorb(trapped)
+    repaired = solve(workloads.bottleneck_repair_problem(),
+                     SynthesisOptions(routes=routes, stages=2, repair=True))
+    statuses["staged_repaired"] = repaired.status
+    absorb(repaired)
+    statuses["cores_seen"] = "yes" if counters["cores_extracted"] > 0 else "NO"
+    return {
+        "statuses": statuses,
+        "core_counters": counters,
+        "render_digest": _digest(repr(sorted(statuses.items()))),
+    }
+
+
 _RUNNERS: Dict[str, Callable[[dict], dict]] = {
     "table1": _bench_table1,
     "fig3": _bench_fig3,
     "fig4": _bench_fig4,
+    "backends": _bench_backends,
+    "unsat_core": _bench_unsat_core,
 }
 
 
@@ -112,10 +196,18 @@ def run_bench(name: str, scale: Optional[dict] = None,
     payload = runner(scale)
     wall = time.perf_counter() - t0
     per_check = drain_global_check_stats()
+    # Entries mix numeric counters with tags (the "backend" attribution);
+    # totals sum the counters overall and per backend.
     totals: Dict[str, int] = {}
+    by_backend: Dict[str, Dict[str, int]] = {}
     for entry in per_check:
+        backend = str(entry.get("backend", "native"))
+        bucket = by_backend.setdefault(backend, {})
         for key, value in entry.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
             totals[key] = totals.get(key, 0) + value
+            bucket[key] = bucket.get(key, 0) + value
     record = {
         "name": name,
         "scale": {k: list(v) if isinstance(v, tuple) else v
@@ -123,6 +215,7 @@ def run_bench(name: str, scale: Optional[dict] = None,
         "wall_s": round(wall, 4),
         "checks": len(per_check),
         "statistics": totals,
+        "by_backend": by_backend,
         "per_check": per_check,
         "meta": {
             "python": platform.python_version(),
@@ -131,6 +224,7 @@ def run_bench(name: str, scale: Optional[dict] = None,
         **payload,
     }
     out_path = Path(out_dir) / f"BENCH_{name}.json"
+    out_path.parent.mkdir(parents=True, exist_ok=True)
     out_path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     return record
 

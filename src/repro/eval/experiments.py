@@ -22,7 +22,7 @@ from ..core.synthesizer import (
     MODE_STABILITY,
     SynthesisOptions,
     SynthesisResult,
-    synthesize,
+    solve,
 )
 from ..core.validator import collect_violations
 from ..portfolio import PortfolioResult, Strategy, default_portfolio, synthesize_portfolio
@@ -61,7 +61,7 @@ def _sweep_task(args: Tuple) -> Tuple:
     """One (seed, stages, routes) synthesis cell of a fig4/5/6 sweep."""
     seed, n_apps, stages, routes = args
     problem = workloads.random_problem(seed, n_apps=n_apps)
-    res = synthesize(problem, SynthesisOptions(routes=routes, stages=stages))
+    res = solve(problem, SynthesisOptions(routes=routes, stages=stages))
     return (seed, stages, routes, problem.num_messages,
             res.synthesis_time, res.status)
 
@@ -284,7 +284,7 @@ def run_fig7(
         problem = workloads.problem_with_message_count(
             seed0 + n_switches, n_messages, n_apps=n_apps, n_switches=n_switches
         )
-        res = synthesize(problem, SynthesisOptions(routes=routes, stages=stages))
+        res = solve(problem, SynthesisOptions(routes=routes, stages=stages))
         times.append((n_switches, res.synthesis_time, res.status))
     return Fig7Result(times)
 
@@ -460,12 +460,12 @@ def run_table1(
             )
         return rows, stable_count
 
-    res_stab = synthesize(
+    res_stab = solve(
         problem, SynthesisOptions(mode=MODE_STABILITY, routes=routes, stages=stages)
     )
     if res_stab.ok:
         assert collect_violations(res_stab.solution) == []
-    res_dead = synthesize(
+    res_dead = solve(
         problem, SynthesisOptions(mode=MODE_DEADLINE, routes=routes, stages=stages)
     )
     if res_dead.ok:

@@ -176,6 +176,126 @@ def problem_with_message_count(
 
 
 # ---------------------------------------------------------------------------
+# Bottleneck workloads (assumption probing / unsat cores)
+# ---------------------------------------------------------------------------
+
+#: Link/switch delays of the bottleneck instances: ld dominates, so link
+#: capacity (not switch latency) is the binding resource.
+BOTTLENECK_DELAYS = DelayModel(sd=microseconds(5), ld=Fraction(1, 1000))
+
+
+def bottleneck_network(n_apps: int, islands: int = 0) -> Network:
+    """``n_apps`` sensor/controller pairs funnelled through one link.
+
+    All apps share switch ``A`` -> ``B``: the direct link A-B is the
+    shortest route for everyone, with a single relief path through
+    ``D``.  ``islands`` adds that many *independent* copies (prefix
+    ``I<k>.``) whose apps never contend with the main funnel — their
+    shortest routes are always feasible, which makes them the
+    non-conflicting remainder a core-guided probe keeps.
+    """
+    net = Network()
+    for sw in ("A", "D", "B"):
+        net.add_switch(sw)
+    net.add_link("A", "B")
+    net.add_link("A", "D")
+    net.add_link("D", "B")
+    for i in range(n_apps):
+        net.add_sensor(f"S{i}")
+        net.add_controller(f"C{i}")
+        net.add_link(f"S{i}", "A")
+        net.add_link("B", f"C{i}")
+    for k in range(islands):
+        pre = f"I{k}."
+        for sw in ("A", "D", "B"):
+            net.add_switch(pre + sw)
+        net.add_link(pre + "A", pre + "B")
+        net.add_link(pre + "A", pre + "D")
+        net.add_link(pre + "D", pre + "B")
+        net.add_sensor(pre + "S")
+        net.add_controller(pre + "C")
+        net.add_link(pre + "S", pre + "A")
+        net.add_link(pre + "B", pre + "C")
+    return net
+
+
+def bottleneck_problem(
+    n_apps: int = 3,
+    period: Fraction = Fraction(45, 10000),
+    islands: int = 0,
+    island_period: Optional[Fraction] = None,
+) -> SynthesisProblem:
+    """A contention-tight funnel where shortest-route probing must fail.
+
+    With the default 4.5 ms period and 1 ms link delay the direct link
+    holds only two of the three messages (window < 2 separations), while
+    the relief path holds exactly one — so the instance is *satisfiable*
+    but every all-shortest-routes selection is not: the greedy
+    assumption probe fails and its minimized unsat core names the
+    funnel's selectors.  Shrinking the period below the relief path's
+    latency (e.g. 3.5 ms) makes the instance infeasible outright.
+    """
+    net = bottleneck_network(n_apps, islands=islands)
+    apps = [
+        ControlApplication(
+            f"app{i}", f"S{i}", f"C{i}", period,
+            StabilitySpec.single_line("1.5", str(float(period))),
+        )
+        for i in range(n_apps)
+    ]
+    for k in range(islands):
+        pre = f"I{k}."
+        p = island_period or period
+        apps.append(
+            ControlApplication(
+                f"island{k}", pre + "S", pre + "C", p,
+                StabilitySpec.single_line("1.5", str(float(p))),
+            )
+        )
+    return SynthesisProblem(net, apps, BOTTLENECK_DELAYS)
+
+
+def bottleneck_repair_problem() -> SynthesisProblem:
+    """A staged-heuristic trap that core-driven repair recovers.
+
+    Six 9 ms apps and one 4.5 ms app share the funnel.  With ``stages=2``
+    the first stage freezes the 9 ms messages wherever it likes — and the
+    tight-stability "crowd" plus the loose pair deterministically land on
+    positions that leave no room for the 4.5 ms app's second message, so
+    stage 1 is unsat even though the monolithic formulation is sat.  With
+    ``repair=True`` the failing check's unsat core names exactly the
+    blocking frozen messages; unfreezing them and re-solving stage 1
+    jointly recovers the instance (see ``tests/core/test_repair.py``).
+    """
+    hyper = Fraction(9, 1000)
+    e2e_min = Fraction(3010, 1000000)  # 2*(sd+ld) + ld on the direct route
+    net = bottleneck_network(6)
+    apps = [
+        ControlApplication(
+            "x", "S0", "C0", hyper / 2,
+            StabilitySpec.single_line("1.5", str(float(hyper / 2))),
+        )
+    ]
+    crowd_beta = e2e_min + Fraction(45, 10000)
+    for j in range(3):
+        apps.append(
+            ControlApplication(
+                f"c{j}", f"S{j + 1}", f"C{j + 1}", hyper,
+                StabilitySpec.single_line("1.5", str(float(crowd_beta))),
+            )
+        )
+    for j in range(2):
+        i = 4 + j
+        apps.append(
+            ControlApplication(
+                f"a{j}", f"S{i}", f"C{i}", hyper,
+                StabilitySpec.single_line("1.5", str(float(hyper))),
+            )
+        )
+    return SynthesisProblem(net, apps, BOTTLENECK_DELAYS)
+
+
+# ---------------------------------------------------------------------------
 # The General Motors case study (Table I)
 # ---------------------------------------------------------------------------
 

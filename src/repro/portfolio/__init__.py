@@ -19,7 +19,7 @@ from .engine import (
     StrategyResult,
     synthesize_portfolio,
 )
-from .strategies import Strategy, default_portfolio, with_restart_schedule
+from .strategies import Strategy, default_portfolio, with_backend, with_restart_schedule
 
 __all__ = [
     "PortfolioResult",
@@ -33,5 +33,6 @@ __all__ = [
     "StrategyResult",
     "default_portfolio",
     "synthesize_portfolio",
+    "with_backend",
     "with_restart_schedule",
 ]

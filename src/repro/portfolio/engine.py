@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..core.solution import Solution
-from ..core.synthesizer import MODE_STABILITY, SynthesisResult, synthesize
+from ..core.synthesizer import MODE_STABILITY, SynthesisResult, solve
 from .strategies import Strategy, default_portfolio
 
 #: Terminal per-strategy statuses.
@@ -132,7 +132,7 @@ def synthesize_portfolio(
 def _strategy_worker(conn, problem, strategy: Strategy) -> None:
     """Run one strategy and ship a picklable result summary back."""
     try:
-        result = synthesize(problem, strategy.options)
+        result = solve(problem, strategy.options)
         conn.send(_payload_of(result))
     except Exception as exc:  # noqa: BLE001 - report, don't crash the race
         try:
@@ -395,7 +395,7 @@ def _race_serial(
             continue
         started = time.perf_counter()
         try:
-            result = synthesize(problem, strategy.options)
+            result = solve(problem, strategy.options)
             payload = _payload_of(result)
         except Exception as exc:  # noqa: BLE001 - keep racing
             payload = {"status": STATUS_ERROR,

@@ -78,6 +78,21 @@ def with_restart_schedule(
     ]
 
 
+def with_backend(strategies: Sequence[Strategy], backend: str) -> List[Strategy]:
+    """Re-target every strategy at a different solving backend.
+
+    Strategies are :class:`repro.api.Session` clients through the
+    synthesis driver: each worker runs its whole synthesis on one
+    session whose backend is named by its options, and the per-check
+    statistics stream tags every entry with that backend — so portfolio
+    accounting and BENCH trajectories attribute work per backend.
+    """
+    return [
+        replace(s, options=replace(s.options, backend=backend))
+        for s in strategies
+    ]
+
+
 def default_portfolio(
     mode: str = MODE_STABILITY,
     route_subsets: Sequence[int] = (1, 2, 3),
@@ -85,15 +100,23 @@ def default_portfolio(
     include_monolithic: bool = True,
     incremental_routes: Optional[int] = 3,
     path_cutoff: Optional[int] = None,
+    backend: str = "native",
+    repair: bool = False,
 ) -> List[Strategy]:
-    """The paper-derived strategy mix described in the module docstring."""
+    """The paper-derived strategy mix described in the module docstring.
+
+    ``backend`` names the session backend every strategy solves on;
+    ``repair`` opts the incremental strategies into core-driven stage
+    repair (their sat-coverage grows beyond the paper's heuristic, so it
+    defaults off).
+    """
     portfolio: List[Strategy] = []
     if include_monolithic:
         portfolio.append(
             Strategy(
                 "monolithic",
                 SynthesisOptions(mode=mode, routes=None, stages=1,
-                                 path_cutoff=path_cutoff),
+                                 path_cutoff=path_cutoff, backend=backend),
             )
         )
     for k in route_subsets:
@@ -101,7 +124,7 @@ def default_portfolio(
             Strategy(
                 f"routes-{k}",
                 SynthesisOptions(mode=mode, routes=k, stages=1,
-                                 path_cutoff=path_cutoff),
+                                 path_cutoff=path_cutoff, backend=backend),
             )
         )
     for s in stage_counts:
@@ -109,7 +132,8 @@ def default_portfolio(
             Strategy(
                 f"stages-{s}",
                 SynthesisOptions(mode=mode, routes=incremental_routes,
-                                 stages=s, path_cutoff=path_cutoff),
+                                 stages=s, path_cutoff=path_cutoff,
+                                 backend=backend, repair=repair),
             )
         )
     if not portfolio:

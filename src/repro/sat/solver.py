@@ -160,6 +160,7 @@ class SatSolver:
         self._max_learnts_factor = 1.0 / 3.0
         self._model: List[int] = []
         self._theory_qhead = 0
+        self._failed_assumptions: List[int] = []
 
     # ------------------------------------------------------------------
     # Variables and clauses
@@ -267,6 +268,18 @@ class SatSolver:
         if not self._model:
             raise SolverError("no model available; call solve() first")
         return self._model[var] == TRUE
+
+    @property
+    def failed_assumptions(self) -> List[int]:
+        """The assumption literals responsible for the last UNSAT answer.
+
+        A subset of the ``assumptions`` passed to the failing
+        :meth:`solve` call, jointly inconsistent with the clause database
+        (the *unsat core* over assumptions, from final-conflict analysis).
+        Empty when the formula is unsat regardless of assumptions, and
+        after any SAT answer.
+        """
+        return list(self._failed_assumptions)
 
     @property
     def decision_level(self) -> int:
@@ -402,6 +415,47 @@ class SatSolver:
             learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
             back_level = self._levels[var_of(learnt[1])]
         return learnt, back_level
+
+    def _analyze_final(
+        self, conflict_lits: Sequence[int], assumptions: Sequence[int]
+    ) -> List[int]:
+        """Assumption literals reachable from a final conflict (MiniSat's
+        ``analyzeFinal``).
+
+        Walks the implication graph backwards from ``conflict_lits``: a
+        reached literal with a reason clause is expanded, a reached
+        *decision* is — at decision levels at or below the assumption
+        prefix — one of the assumption literals and joins the core.  Must
+        run before the trail is cancelled.  Returns a subset of
+        ``assumptions`` in trail order.
+        """
+        if not self._trail_lim:
+            return []
+        assumption_set = set(assumptions)
+        seen = bytearray(self._nvars + 1)
+        core: List[int] = []
+        for l in conflict_lits:
+            v = var_of(l)
+            if self._levels[v] > 0:
+                seen[v] = 1
+        start = self._trail_lim[0]
+        for i in range(len(self._trail) - 1, start - 1, -1):
+            l = self._trail[i]
+            v = var_of(l)
+            if not seen[v]:
+                continue
+            seen[v] = 0
+            reason = self._reasons[v]
+            if reason is None:
+                if l in assumption_set:
+                    core.append(l)
+            else:
+                for q in reason.lits:
+                    qv = var_of(q)
+                    if self._levels[qv] > 0:
+                        seen[qv] = 1
+        core.reverse()
+        return core
 
     def _record_learnt(self, learnt: List[int]) -> None:
         """Install a learned clause and assert its first literal."""
@@ -613,8 +667,10 @@ class SatSolver:
         """Solve under the given assumption literals.
 
         Returns True (SAT: model available through :meth:`model_value`) or
-        False (UNSAT under these assumptions).
+        False (UNSAT under these assumptions; the responsible assumption
+        subset is then available via :attr:`failed_assumptions`).
         """
+        self._failed_assumptions = []
         if not self._ok:
             return False
         self.cancel_until(0)
@@ -660,6 +716,10 @@ class SatSolver:
                     # The conflict depends only on root facts and assumptions.
                     if self.decision_level == 0 or not assumptions:
                         self._ok = False
+                    else:
+                        self._failed_assumptions = self._analyze_final(
+                            conflict.lits, assumptions
+                        )
                     self.cancel_until(0)
                     return False
                 learnt, back_level = self._analyze(conflict)
@@ -696,6 +756,10 @@ class SatSolver:
                     if self.decision_level <= len(assumptions):
                         if self.decision_level == 0 or not assumptions:
                             self._ok = False
+                        else:
+                            self._failed_assumptions = self._analyze_final(
+                                conflict.lits, assumptions
+                            )
                         self.cancel_until(0)
                         return False
                     learnt, back_level = self._analyze(conflict)
@@ -708,7 +772,11 @@ class SatSolver:
             if next_lit is not None:
                 val = self._lit_value(next_lit)
                 if val == FALSE:
-                    # Assumptions are inconsistent.
+                    # Assumptions are inconsistent: ``next_lit`` plus the
+                    # assumptions its negation was derived from.
+                    self._failed_assumptions = [next_lit] + self._analyze_final(
+                        [next_lit], assumptions
+                    )
                     self.cancel_until(0)
                     return False
                 self._trail_lim.append(len(self._trail))

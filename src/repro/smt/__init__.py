@@ -10,7 +10,7 @@ from .difflogic import DifferenceLogic
 from .rationals import DeltaRational, materialize_delta
 from .simplex import Simplex
 from .optimize import OptimizeResult, minimize
-from .solver import CheckResult, Model, Solver, sat, unknown, unsat
+from .solver import CheckResult, Model, Solver, SolverEngine, sat, unknown, unsat
 from .terms import (
     And,
     Atom,
@@ -60,6 +60,7 @@ __all__ = [
     "RealVar",
     "Simplex",
     "Solver",
+    "SolverEngine",
     "Sum",
     "TRUE_EXPR",
     "materialize_delta",

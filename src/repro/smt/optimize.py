@@ -1,9 +1,13 @@
-"""Optimization on top of the SMT solver: minimize a linear objective.
+"""Optimization on top of the solving session: minimize a linear objective.
 
-The DPLL(T) solver decides satisfiability; this layer adds linear-
-objective minimization by exact rational binary search over fresh solver
-instances (each probe asserts ``objective <= mid``).  Termination uses
-both an absolute tolerance and a probe budget; the result is a certified
+The DPLL(T) engine decides satisfiability; this layer adds linear-
+objective minimization by exact rational binary search.  It is a client
+of the session API (:class:`repro.api.Session`): the constraint set is
+asserted **once**, and every probe runs in a ``push()``/``pop()`` scope
+that asserts ``objective <= mid`` — so learned clauses and theory state
+carry across probes instead of being rebuilt per bound (the PR-1
+incrementality applied to optimization).  Termination uses both an
+absolute tolerance and a probe budget; the result is a certified
 interval ``[lo, hi]``: ``objective <= hi`` is satisfiable (with model),
 ``objective < lo`` is not (up to the returned precision).
 
@@ -16,10 +20,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Callable, List, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..errors import SolverError
-from .solver import Model, Solver, sat
+from .solver import Model
 from .terms import BoolExpr, LinExpr
 
 
@@ -37,43 +41,64 @@ class OptimizeResult:
         return self.status in ("optimal", "sat")
 
 
-def _check_with_bound(
-    assertions: Sequence[BoolExpr],
-    objective: LinExpr,
-    bound: Optional[Fraction],
-) -> Optional[Model]:
-    solver = Solver()
-    solver.add(list(assertions))
-    if bound is not None:
-        solver.add(objective <= bound)
-    if solver.check() == sat:
-        return solver.model()
-    return None
-
-
 def minimize(
     assertions: Sequence[BoolExpr],
     objective: LinExpr,
     lower_bound: Fraction | int = 0,
     tolerance: Fraction | int | None = None,
     max_probes: int = 32,
+    session=None,
 ) -> OptimizeResult:
     """Minimize ``objective`` subject to ``assertions``.
 
     Args:
-        assertions: the constraint set (re-asserted per probe).
+        assertions: the constraint set (asserted once, probes scoped).
         objective: linear expression to minimize.
         lower_bound: a known valid lower bound on the objective
             (0 for delays/jitters).
         tolerance: stop when the bracket is at most this wide
             (default: 1/1000 of the initial objective value, floor 1e-9).
         max_probes: hard budget on solver invocations.
+        session: an optional caller-owned :class:`repro.api.Session`
+            (must hold no other assertions); by default a fresh native
+            session is created.
 
     Returns an :class:`OptimizeResult`; ``status="optimal"`` means the
     bracket shrank below the tolerance.
     """
+    from ..api import Session
+
+    if session is None:
+        session = Session()
+    session.add(list(assertions))
+
+    def probe(bound: Optional[Fraction]) -> Optional[Model]:
+        """A model under ``objective <= bound``, or None when unsat.
+
+        Branches on the check's *status*: a sat answer without a model
+        (a backend that cannot produce one) and an ``unknown`` answer
+        both raise — neither can drive the bound search soundly.
+        """
+        if bound is None:
+            outcome = session.check()
+        else:
+            session.push()
+            try:
+                session.add(objective <= bound)
+                outcome = session.check()
+            finally:
+                session.pop()
+        if outcome == "unsat":
+            return None
+        if outcome != "sat":
+            raise SolverError(
+                f"cannot optimize: backend {session.backend_name!r} "
+                f"answered {outcome.status}"
+            )
+        return outcome.require_model()
+
     lower = Fraction(lower_bound)
-    model = _check_with_bound(assertions, objective, None)
+    model = probe(None)
     if model is None:
         return OptimizeResult("unsat", None, None, probes=1)
     best_value = model[objective]
@@ -92,7 +117,7 @@ def minimize(
     lo = lower
     while hi - lo > tolerance and probes < max_probes:
         mid = (hi + lo) / 2
-        model = _check_with_bound(assertions, objective, mid)
+        model = probe(mid)
         probes += 1
         if model is not None:
             # The model may beat the probe bound; use the tighter value.

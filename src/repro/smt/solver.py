@@ -1,4 +1,9 @@
-"""The user-facing SMT solver: z3py-flavoured ``Solver`` and ``Model``.
+"""The native DPLL(T) engine: z3py-flavoured ``SolverEngine`` and ``Model``.
+
+The *public* solving surface is :class:`repro.api.Session` (pluggable
+backends, rich outcomes, first-class unsat cores — see ``docs/api.md``);
+this module is the engine behind its native backend.  The legacy name
+``Solver`` remains as a warn-once deprecation shim.
 
 Usage::
 
@@ -32,6 +37,7 @@ while everything learned from them remains valid.
 from __future__ import annotations
 
 import itertools
+import warnings
 
 from collections import deque
 from fractions import Fraction
@@ -77,18 +83,30 @@ _CHECK_STAT_KEYS = (
 #: portfolio workers) keep only the most recent entries instead of leaking
 #: one dict per check() forever.
 _CHECK_STATS_CAP = 10_000
-_GLOBAL_CHECK_STATS: "deque[Dict[str, int]]" = deque(maxlen=_CHECK_STATS_CAP)
+_GLOBAL_CHECK_STATS: "deque[Dict[str, object]]" = deque(maxlen=_CHECK_STATS_CAP)
 
 
-def drain_global_check_stats() -> List[Dict[str, int]]:
-    """Return and clear the per-check stats accumulated in this process."""
+def drain_global_check_stats() -> List[Dict[str, object]]:
+    """Return and clear the per-check stats accumulated in this process.
+
+    Besides the monotone counters, every entry carries a ``"backend"``
+    tag naming the engine that performed the check, so trajectories can
+    attribute work per backend.
+    """
     out = list(_GLOBAL_CHECK_STATS)
     _GLOBAL_CHECK_STATS.clear()
     return out
 
 
 class CheckResult:
-    """Tri-state result mirroring z3's ``sat``/``unsat``/``unknown``."""
+    """Tri-state result mirroring z3's ``sat``/``unsat``/``unknown``.
+
+    Compares equal to (and hashes like) the plain strings ``"sat"`` /
+    ``"unsat"`` / ``"unknown"``, so reporting code can mix the two freely
+    (``outcome.status == "unsat"``, ``{"sat": ...}[result]``) without
+    ``str(...)`` round-trips — and results survive pickling across process
+    boundaries without breaking identity-based comparisons.
+    """
 
     __slots__ = ("name",)
 
@@ -100,6 +118,25 @@ class CheckResult:
 
     def __bool__(self) -> bool:
         return self.name == "sat"
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, CheckResult):
+            return self.name == other.name
+        if isinstance(other, str):
+            return self.name == other
+        return NotImplemented
+
+    def __ne__(self, other) -> bool:
+        eq = self.__eq__(other)
+        if eq is NotImplemented:
+            return NotImplemented
+        return not eq
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __reduce__(self):
+        return (CheckResult, (self.name,))
 
 
 sat = CheckResult("sat")
@@ -156,8 +193,12 @@ class Model:
         return dict(self._bools)
 
 
-class Solver:
+class SolverEngine:
     """Incremental DPLL(T) solver for QF_LRA + Booleans.
+
+    This is the *native engine* behind the public session API
+    (:class:`repro.api.Session` with the ``"native"`` backend); the
+    legacy entry point :class:`Solver` is a deprecated alias.
 
     ``theory_propagation`` (default on) lets the theory assign implied
     atoms instead of branching on them — the ``theory_propagations``
@@ -165,7 +206,14 @@ class Solver:
     equivalence tests do).  ``float_prefilter`` answers clear-cut simplex
     bound comparisons in floating point, falling back to exact rational
     arithmetic on near-ties (opt-in; exact is the default).
+
+    ``backend_name`` tags this engine's entries in the global per-check
+    statistics stream so benchmark trajectories can attribute work per
+    backend (see :mod:`repro.eval.bench`).
     """
+
+    #: Statistics-stream tag; backends override it per instance.
+    backend_name = "native"
 
     def __init__(self, theory_propagation: bool = True,
                  float_prefilter: bool = False) -> None:
@@ -178,6 +226,15 @@ class Solver:
         # Scope stack: (activation var, watermark into self._assertions).
         self._scopes: List[Tuple[BoolVar, int]] = []
         self._last_check_stats: Dict[str, int] = {}
+        # Unsat-core state of the most recent check(), if it failed under
+        # assumptions: the scope literals it ran under, the literal ->
+        # assumption-expression map, the raw (un-minimized) core literals,
+        # and the lazily computed deletion-minimized core.
+        self._core_scope_lits: Optional[List[int]] = None
+        self._core_by_lit: Dict[int, BoolExpr] = {}
+        self._raw_core_lits: List[int] = []
+        self._min_core_lits: Optional[List[int]] = None
+        self._core_checks = 0
 
     @property
     def assertions(self) -> list[BoolExpr]:
@@ -248,11 +305,19 @@ class Solver:
 
         Optional ``assumptions`` are formulas taken to hold for this call
         only (they are internalized once, then passed to the SAT core as
-        assumption literals — nothing to retract afterwards).
+        assumption literals — nothing to retract afterwards).  When the
+        answer is unsat *because of* the assumptions, :meth:`unsat_core`
+        returns the responsible subset.
         """
         self._model = None
-        lits = [self._cnf.literal_for(act) for act, _ in self._scopes]
-        lits.extend(self._assumption_literals(assumptions))
+        self._core_scope_lits = None
+        self._core_by_lit = {}
+        self._raw_core_lits = []
+        self._min_core_lits = None
+        scope_lits = [self._cnf.literal_for(act) for act, _ in self._scopes]
+        by_lit: Dict[int, BoolExpr] = {}
+        self._collect_assumptions(assumptions, by_lit)
+        lits = scope_lits + list(by_lit)
         before = self._sat.statistics
         solved = self._sat.solve(lits)
         after = self._sat.statistics
@@ -260,7 +325,9 @@ class Solver:
             key: after.get(key, 0) - before.get(key, 0)
             for key in _CHECK_STAT_KEYS
         }
-        _GLOBAL_CHECK_STATS.append(dict(self._last_check_stats))
+        entry: Dict[str, object] = dict(self._last_check_stats)
+        entry["backend"] = self.backend_name
+        _GLOBAL_CHECK_STATS.append(entry)  # type: ignore[arg-type]
         if solved:
             bools = {
                 bv: self._sat.model_value(satvar)
@@ -268,22 +335,110 @@ class Solver:
             }
             self._model = Model(bools, self._theory.model_reals)
             return sat
+        self._core_scope_lits = scope_lits
+        self._core_by_lit = by_lit
+        # Scope activation literals are implementation detail: the public
+        # core ranges over the caller's assumptions only.
+        self._raw_core_lits = [
+            l for l in self._sat.failed_assumptions if l in by_lit
+        ]
         return unsat
 
-    def _assumption_literals(self, assumptions) -> List[int]:
-        out: List[int] = []
+    def _collect_assumptions(self, assumptions, by_lit: Dict[int, BoolExpr]) -> None:
         for a in assumptions:
             if isinstance(a, (list, tuple)):
-                out.extend(self._assumption_literals(a))
+                self._collect_assumptions(a, by_lit)
                 continue
             if isinstance(a, bool):
                 a = BoolConst(a)
             if not isinstance(a, BoolExpr):
                 raise SolverError(f"cannot assume non-Boolean {a!r}")
-            out.append(self._cnf.literal_for(a))
-        return out
+            by_lit.setdefault(self._cnf.literal_for(a), a)
+
+    # ------------------------------------------------------------------
+    # Unsat cores over assumptions
+    # ------------------------------------------------------------------
+
+    @property
+    def core_minimization_checks(self) -> int:
+        """Extra SAT-core solves spent on deletion-minimizing cores."""
+        return self._core_checks
+
+    def unsat_core(self, minimize: bool = True) -> List[BoolExpr]:
+        """The failed assumptions of the most recent unsat ``check()``.
+
+        Returns a subset of that check's assumption formulas which is
+        already unsatisfiable together with the asserted formulas.  With
+        ``minimize=True`` (default) the core is *deletion-minimized*:
+        assumption literals are dropped one at a time and kept out
+        whenever the remainder is still unsat, so no single removal can
+        shrink the result further.  Minimization re-solves under the same
+        scope context as the failing check and is cached; call this
+        before further ``add()``/``push()``/``pop()`` mutations.
+
+        An empty core means the assertions are unsat regardless of the
+        assumptions.
+        """
+        if self._core_scope_lits is None:
+            raise SolverError(
+                "unsat core is only available after an unsat check()"
+            )
+        if not minimize:
+            return [self._core_by_lit[l] for l in self._raw_core_lits]
+        if self._min_core_lits is None:
+            self._min_core_lits = self._deletion_minimize(
+                self._raw_core_lits, self._core_scope_lits
+            )
+        return [self._core_by_lit[l] for l in self._min_core_lits]
+
+    def _deletion_minimize(
+        self, core: List[int], scope_lits: List[int]
+    ) -> List[int]:
+        """Drop-one deletion minimization of an assumption core.
+
+        Each unsat probe replaces the core with the probe's own failed
+        assumptions (never larger than the trial set), so one pass yields
+        a core where every literal is necessary.
+        """
+        core = list(core)
+        i = 0
+        while i < len(core):
+            trial = core[:i] + core[i + 1:]
+            self._core_checks += 1
+            if self._sat.solve(scope_lits + trial):
+                i += 1  # core[i] is necessary
+            else:
+                kept = set(trial)
+                core = [
+                    l for l in self._sat.failed_assumptions if l in kept
+                ]
+        return core
 
     def model(self) -> Model:
         if self._model is None:
             raise SolverError("model is only available after a sat check()")
         return self._model
+
+
+#: One-shot deprecation latch for the legacy ``Solver`` entry point.
+_SOLVER_DEPRECATION_WARNED = False
+
+
+class Solver(SolverEngine):
+    """Deprecated alias of :class:`SolverEngine`.
+
+    The public solving surface is :class:`repro.api.Session`; this name
+    stays importable for existing code and warns once per process.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        global _SOLVER_DEPRECATION_WARNED
+        if not _SOLVER_DEPRECATION_WARNED:
+            _SOLVER_DEPRECATION_WARNED = True
+            warnings.warn(
+                "repro.smt.Solver is deprecated; use repro.api.Session "
+                "(native backend) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        super().__init__(*args, **kwargs)

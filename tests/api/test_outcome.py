@@ -1,0 +1,79 @@
+"""CheckResult / CheckOutcome string equality and hashing (satellite)."""
+
+import pickle
+
+from repro.api import CheckOutcome, Session
+from repro.smt import CheckResult, Real, sat, unknown, unsat
+
+
+class TestCheckResultStringEquality:
+    def test_equals_strings(self):
+        assert sat == "sat" and "sat" == sat
+        assert unsat == "unsat" and unknown == "unknown"
+        assert sat != "unsat" and unsat != "sat"
+        assert not (sat == "unknown")
+
+    def test_equals_other_results(self):
+        assert sat == CheckResult("sat")
+        assert sat != unsat
+
+    def test_hash_consistent_with_strings(self):
+        assert hash(sat) == hash("sat")
+        assert hash(unsat) == hash("unsat")
+        # usable as interchangeable dict keys
+        table = {"sat": 1, "unsat": 2}
+        assert table[sat] == 1 and table[unsat] == 2
+        table2 = {sat: "yes"}
+        assert table2["sat"] == "yes"
+
+    def test_non_comparable_types(self):
+        assert (sat == 42) is False
+        assert (sat != 42) is True
+
+    def test_bool_semantics_preserved(self):
+        assert bool(sat) and not bool(unsat) and not bool(unknown)
+
+    def test_survives_pickling(self):
+        loaded = pickle.loads(pickle.dumps(unsat))
+        assert loaded == unsat == "unsat"
+        assert hash(loaded) == hash(unsat)
+
+
+class TestCheckOutcomeEquality:
+    def _outcomes(self):
+        x = Real("oc_x")
+        s = Session()
+        s.add(x >= 0)
+        good = s.check()
+        s.add(x <= -1)
+        bad = s.check()
+        return good, bad
+
+    def test_outcome_vs_strings_and_results(self):
+        good, bad = self._outcomes()
+        assert good == "sat" and good == sat and bool(good)
+        assert bad == "unsat" and bad == unsat and not bool(bad)
+        assert good != "unsat" and bad != sat
+
+    def test_outcome_vs_outcome(self):
+        good, bad = self._outcomes()
+        assert good != bad
+        assert good == CheckOutcome(status=sat)
+
+    def test_hash_consistency(self):
+        good, bad = self._outcomes()
+        assert hash(good) == hash("sat") == hash(sat)
+        counts = {}
+        for o in (good, bad, good):
+            counts[o] = counts.get(o, 0) + 1
+        assert counts["sat"] == 2 and counts["unsat"] == 1
+
+    def test_repr_mentions_core(self):
+        x = Real("oc2_x")
+        from repro.smt import Bool, Not, Or
+        a = Bool("oc2_a")
+        s = Session()
+        s.add(Or(Not(a), x >= 5), x <= 1)
+        out = s.check(a)
+        assert "core=1 of 1" in repr(out)
+        assert "unsat" in repr(out)

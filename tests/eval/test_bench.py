@@ -67,3 +67,28 @@ def test_run_suite_against_baseline(tmp_path):
     # Same code, same scale: no regression against the fresh baseline.
     assert run_suite(["fig3"], out_dir=out_dir,
                      baseline_dir=base_dir, threshold=5.0) == 0
+
+
+def test_run_bench_unsat_core_records_probe_counters(tmp_path):
+    record = run_bench("unsat_core", out_dir=tmp_path)
+    statuses = record["statuses"]
+    assert statuses["probe_conflict"] == "sat"
+    assert statuses["infeasible"] == "unsat"
+    assert statuses["staged_trap"] == "unsat"
+    assert statuses["staged_repaired"] == "sat"
+    assert statuses["cores_seen"] == "yes"
+    counters = record["core_counters"]
+    assert counters["assumption_probes"] > 0
+    assert counters["cores_extracted"] > 0
+    assert counters["stage_repairs"] > 0
+    # the per-check trajectory attributes every entry to a backend
+    assert record["per_check"]
+    assert all(e.get("backend") == "native" for e in record["per_check"])
+    assert "native" in record["by_backend"]
+
+
+def test_totals_skip_backend_tags(tmp_path):
+    record = run_bench("unsat_core", out_dir=tmp_path)
+    assert "backend" not in record["statistics"]
+    assert all(isinstance(v, (int, float))
+               for v in record["statistics"].values())
