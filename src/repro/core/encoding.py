@@ -90,12 +90,20 @@ class Encoder:
         solver: Solver,
         route_limit: Optional[int] = None,
         path_cutoff: Optional[int] = None,
+        namespace: Optional[str] = None,
     ):
         self.problem = problem
         self.solver = solver
         self.route_limit = route_limit
         self.path_cutoff = path_cutoff
-        self._ns = f"q{next(_NAMESPACE)}"
+        # ``namespace`` pins the variable-name prefix.  The synthesis
+        # driver passes a fixed one so selector/gamma names are identical
+        # across portfolio strategies and worker processes (the shared
+        # vocabulary of repro.portfolio.sharing); the default stays a
+        # fresh counter for ad-hoc encoders.  Name reuse across solver
+        # instances is safe: terms intern globally, but each solver maps
+        # them to its own SAT variables.
+        self._ns = namespace if namespace is not None else f"q{next(_NAMESPACE)}"
         self._route_cache: Dict[str, List[List[str]]] = {}
         self.plans: Dict[str, MessagePlan] = {}
         # Directed-link usage: (u, v) -> list of

@@ -50,7 +50,7 @@ import time
 import warnings
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..api import NativeBackend, Session
 from ..errors import EncodingError
@@ -89,6 +89,12 @@ class SynthesisOptions:
             unsat cores to unfreeze/re-solve when a stage fails (may
             solve instances the plain heuristic cannot).
         max_repair_rounds: cap on unfreeze/re-solve iterations per stage.
+        seed_knowledge: a :class:`repro.portfolio.sharing.SeedKnowledge`
+            bundle from a portfolio race's shared pool — learned clauses,
+            route vetoes and stage prefixes from sibling strategies are
+            applied before/alongside the run's own search (statistics:
+            ``clauses_imported``, ``route_vetoes_applied``,
+            ``prefix_probes``/``prefix_hits``).
     """
 
     mode: str = MODE_STABILITY
@@ -99,6 +105,7 @@ class SynthesisOptions:
     probe_routes: bool = True
     repair: bool = False
     max_repair_rounds: int = 3
+    seed_knowledge: Optional["SeedKnowledge"] = None  # noqa: F821
 
     def __post_init__(self) -> None:
         if self.mode not in (MODE_STABILITY, MODE_DEADLINE):
@@ -128,6 +135,10 @@ class SynthesisResult:
     #: On unsat: human-readable labels of the failing check's unsat core
     #: (frozen messages / probed route selections), when one exists.
     unsat_explanation: Optional[List[str]] = None
+    #: On a *provable* unsat (single-stage run, no heuristic freezes):
+    #: ``(uid, candidate route count)`` per encoded message — the doomed
+    #: route-subset selection a portfolio race shares with siblings.
+    route_veto: Optional[Tuple[Tuple[str, int], ...]] = None
 
     @property
     def ok(self) -> bool:
@@ -153,7 +164,9 @@ class _StageAccounting:
     def __init__(self) -> None:
         self.totals: Dict[str, int] = {key: 0 for key in _SOLVER_KEYS}
         self.totals.update(assumption_probes=0, cores_extracted=0,
-                           stage_repairs=0)
+                           stage_repairs=0, clauses_imported=0,
+                           route_vetoes_applied=0, prefix_probes=0,
+                           prefix_hits=0)
         self.stage: Dict[str, int] = {}
         self.per_stage: List[Dict[str, int]] = []
 
@@ -212,18 +225,31 @@ class _FreezeLedger:
         return uids
 
 
+#: Fixed encoder namespace for driver-built encodings: selector and
+#: release-time variable names must be identical across portfolio
+#: strategies and worker processes for shared knowledge to connect (see
+#: :mod:`repro.portfolio.sharing`).  Reuse across runs is safe — terms
+#: intern globally but SAT mappings are per-engine.
+_SHARED_NAMESPACE = "p"
+
+
 def solve(
     problem: SynthesisProblem,
     options: Optional[SynthesisOptions] = None,
     *,
     session: Optional[Session] = None,
+    on_event: Optional[Callable[[dict], None]] = None,
 ) -> SynthesisResult:
     """Jointly route and schedule all messages of one hyper-period.
 
     This is the canonical entry point (the legacy :func:`synthesize`
     delegates here).  ``session`` injects a caller-owned
     :class:`repro.api.Session`; by default one is created according to
-    ``options.backend`` and used for the entire run.
+    ``options.backend`` and used for the entire run.  ``on_event``
+    observes solve progress — currently one event kind,
+    ``{"kind": "stage_frozen", "stage": i, "fixed": [...]}`` after each
+    non-final incremental stage — which portfolio workers use to stream
+    frozen prefixes to the race's shared knowledge pool.
     """
     opts = options or SynthesisOptions()
     if opts.mode == MODE_STABILITY:
@@ -238,12 +264,21 @@ def solve(
             session = Session(backend=NativeBackend(engine=Solver()))
         else:
             session = Session(backend=opts.backend)
-    encoder = Encoder(problem, session, opts.routes, opts.path_cutoff)
+    encoder = Encoder(problem, session, opts.routes, opts.path_cutoff,
+                      namespace=_SHARED_NAMESPACE)
 
     acct = _StageAccounting()
     ledger = _FreezeLedger(opts.repair)
     fixed: Dict[str, FixedMessage] = {}
     stages_done = 0
+
+    seed = opts.seed_knowledge
+    vetoes_applied: set = set()
+    if seed is not None:
+        # Deferred import: repro.portfolio imports this module.
+        from ..portfolio import sharing
+        acct.count("clauses_imported",
+                   sharing.import_presolve_clauses(session, opts))
 
     for stage_idx, stage_messages in enumerate(slices):
         if not stage_messages:
@@ -262,13 +297,34 @@ def solve(
                     problem.app_by_name[app_name], tag=f"s{stage_idx}"
                 )
 
-        outcome = _check_stage(session, opts, acct, ledger, new_plans)
+        prefix_assumps: List[BoolExpr] = []
+        if seed is not None:
+            from ..portfolio import sharing
+            acct.count("route_vetoes_applied", sharing.apply_route_vetoes(
+                session, encoder, opts, vetoes_applied))
+            if opts.stages == 1:
+                acct.count("clauses_imported", sharing.import_padded_clauses(
+                    session, encoder, opts))
+            prefix_assumps = sharing.prefix_assumptions(opts, new_plans)
+
+        outcome = _check_stage(session, opts, acct, ledger, new_plans,
+                               prefix_assumps)
 
         if outcome != "sat":
             # An undecided backend (e.g. serialization with engine="none")
             # must not be reported as proven infeasibility.
+            status_name = outcome.status.name
+            veto: Optional[Tuple[Tuple[str, int], ...]] = None
+            if status_name == "unsat" and opts.stages == 1:
+                # Single-stage unsat is a real proof that this run's
+                # route-subset selection is infeasible (no heuristic
+                # freezes were involved) — exportable to siblings.
+                veto = tuple(sorted(
+                    (uid, len(plan.selectors))
+                    for uid, plan in encoder.plans.items()
+                ))
             return SynthesisResult(
-                status=outcome.status.name,
+                status=status_name,
                 solution=None,
                 synthesis_time=time.perf_counter() - t0,
                 stages_completed=stages_done,
@@ -276,6 +332,7 @@ def solve(
                 statistics=acct.totals,
                 stage_statistics=acct.per_stage + [acct.stage],
                 unsat_explanation=_explain_core(outcome, ledger, encoder),
+                route_veto=veto,
             )
 
         model = outcome.require_model()
@@ -293,6 +350,9 @@ def solve(
                 ledger.plans[uid] = plan
         acct.end_stage()
         stages_done += 1
+        if on_event is not None and has_later_work:
+            on_event({"kind": "stage_frozen", "stage": stage_idx,
+                      "fixed": list(fixed.values())})
 
     elapsed = time.perf_counter() - t0
     schedules = {
@@ -324,11 +384,23 @@ def _check_stage(
     acct: _StageAccounting,
     ledger: _FreezeLedger,
     new_plans: List[MessagePlan],
+    prefix_assumps: Sequence[BoolExpr] = (),
 ):
-    """One stage's probe ladder: greedy route probe -> core-relaxed
-    re-probe -> unrestricted solve -> (repair mode) core-driven
-    unfreezing.  Returns the final :class:`CheckOutcome`."""
+    """One stage's probe ladder: shared-prefix probe -> greedy route
+    probe -> core-relaxed re-probe -> unrestricted solve -> (repair mode)
+    core-driven unfreezing.  Returns the final :class:`CheckOutcome`."""
     freezes = ledger.assumptions()
+
+    if prefix_assumps:
+        # Replay a sibling attempt's frozen prefix (portfolio knowledge
+        # sharing).  Pure assumption probe: a miss costs one check and
+        # falls through to the regular ladder, so statuses never change.
+        acct.count("prefix_probes")
+        probe = session.check(freezes + list(prefix_assumps))
+        acct.absorb(probe)
+        if probe == "sat":
+            acct.count("prefix_hits")
+            return probe
 
     if opts.probe_routes:
         greedy = [p.selectors[0] for p in new_plans if len(p.selectors) > 1]

@@ -49,7 +49,8 @@ def main(argv=None) -> int:
     parser.add_argument("--bench-names", nargs="+", default=None,
                         metavar="NAME",
                         help="benchmarks to run with 'bench' (default: "
-                             "table1 fig3 fig4 backends unsat_core)")
+                             "table1 fig3 fig4 backends unsat_core "
+                             "portfolio)")
     parser.add_argument("--out", default=".",
                         help="directory for BENCH_<name>.json files")
     parser.add_argument("--baseline-dir", default=None,
@@ -69,7 +70,7 @@ def main(argv=None) -> int:
         from .bench import run_suite
 
         names = args.bench_names or ["table1", "fig3", "fig4",
-                                     "backends", "unsat_core"]
+                                     "backends", "unsat_core", "portfolio"]
         regressions = run_suite(
             names,
             out_dir=args.out,

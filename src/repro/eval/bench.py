@@ -38,6 +38,7 @@ QUICK_SCALES: Dict[str, dict] = {
     "fig4": {"n_problems": 2, "stages_list": (3, 5), "routes": 3, "n_apps": 5},
     "backends": {"n_apps": 3, "routes": 2, "stages": 3},
     "unsat_core": {"routes": 2},
+    "portfolio": {"n_apps": 4, "islands": 2},
 }
 
 
@@ -167,12 +168,88 @@ def _bench_unsat_core(scale: dict) -> dict:
     }
 
 
+def _bench_portfolio(scale: dict) -> dict:
+    """Portfolio races with knowledge sharing on vs off (deterministic).
+
+    Serial-backend races on the two sharing workloads — the sat funnel
+    (routes-1's veto prunes routes-2) and its infeasible companion
+    (routes-2's clauses + veto make the monolithic unsat proof nearly
+    free).  The regression surface: every per-strategy and race status,
+    the requirement that sharing strictly reduces summed conflicts at
+    identical outcomes, and the sharing counters themselves.  Worker
+    engines tag the per-check statistics stream as ``native[<strategy>]``,
+    so the record's ``by_backend`` roll-up attributes time and conflicts
+    per *strategy* (closing the per-strategy attribution item).
+    """
+    from ..core.synthesizer import SynthesisOptions
+    from ..portfolio import Strategy, synthesize_portfolio
+    from . import workloads
+
+    n_apps = scale.get("n_apps", 4)
+    islands = scale.get("islands", 2)
+    sat_problem = workloads.sharing_problem(n_apps=n_apps, islands=islands)
+    unsat_problem = workloads.sharing_unsat_problem()
+    sat_strategies = [
+        Strategy("routes-1", SynthesisOptions(routes=1)),
+        Strategy("routes-2", SynthesisOptions(routes=2)),
+    ]
+    unsat_strategies = [
+        Strategy("routes-2", SynthesisOptions(routes=2)),
+        Strategy("routes-1", SynthesisOptions(routes=1)),
+        Strategy("monolithic", SynthesisOptions(routes=None)),
+    ]
+
+    statuses: Dict[str, str] = {}
+    sharing: Dict[str, int] = {}
+    times: Dict[str, float] = {}
+    for label, problem, strategies in (
+        ("sat", sat_problem, sat_strategies),
+        ("unsat", unsat_problem, unsat_strategies),
+    ):
+        conflicts = {}
+        for share in (False, True):
+            res = synthesize_portfolio(problem, strategies, backend="serial",
+                                       share_knowledge=share)
+            mode = "share" if share else "solo"
+            statuses[f"{label}/{mode}/race"] = res.status
+            for sr in res.strategy_results:
+                statuses[f"{label}/{mode}/{sr.name}"] = sr.status
+            conflicts[share] = sum(
+                sr.statistics.get("conflicts", 0)
+                for sr in res.strategy_results
+            )
+            times[f"{label}/{mode}"] = round(res.total_time, 4)
+            if share:
+                sharing[f"{label}_clauses_imported"] = sum(
+                    sr.statistics.get("clauses_imported", 0)
+                    for sr in res.strategy_results
+                )
+                sharing[f"{label}_vetoes_applied"] = sum(
+                    sr.statistics.get("route_vetoes_applied", 0)
+                    for sr in res.strategy_results
+                )
+                for key, value in res.pool_statistics.items():
+                    sharing[f"{label}_{key}"] = value
+        sharing[f"{label}_conflicts_solo"] = conflicts[False]
+        sharing[f"{label}_conflicts_shared"] = conflicts[True]
+        statuses[f"{label}/sharing_reduces_conflicts"] = (
+            "yes" if conflicts[True] < conflicts[False] else "NO"
+        )
+    return {
+        "statuses": statuses,
+        "sharing": sharing,
+        "solve_times": times,
+        "render_digest": _digest(repr(sorted(statuses.items()))),
+    }
+
+
 _RUNNERS: Dict[str, Callable[[dict], dict]] = {
     "table1": _bench_table1,
     "fig3": _bench_fig3,
     "fig4": _bench_fig4,
     "backends": _bench_backends,
     "unsat_core": _bench_unsat_core,
+    "portfolio": _bench_portfolio,
 }
 
 

@@ -295,6 +295,77 @@ def bottleneck_repair_problem() -> SynthesisProblem:
     return SynthesisProblem(net, apps, BOTTLENECK_DELAYS)
 
 
+def sharing_problem(n_apps: int = 4, islands: int = 2) -> SynthesisProblem:
+    """The portfolio knowledge-sharing workload (deterministic).
+
+    A satisfiable funnel instance on which a ``routes-1`` strategy
+    *provably* prunes ``routes-2``'s search: the per-app delay bounds
+    admit fewer direct A->B transmission slots than there are funnel
+    messages, so restricting every app to its single shortest route is
+    infeasible — ``routes-1`` returns a genuine unsat (single-stage, no
+    heuristic freezes) whose route veto says "not every message fits
+    within its first candidate".  ``routes-2`` sees the relief path
+    through ``D`` and is sat; seeded with the veto (plus routes-1's
+    learned clauses, padded with the second-route selectors), its solver
+    refutes the doomed all-shortest subtree by unit propagation instead
+    of search, so the race's summed conflict count drops while statuses
+    and the certified schedule stay identical.  The ``islands`` add
+    independent apps whose shortest routes are always feasible — they
+    enlarge the veto clause and the shared search space without changing
+    any status.  Island stability bounds are pinned to the minimal
+    end-to-end delay, so their schedules are *unique*: the sat model is
+    identical with sharing on and off (the regression test asserts it).
+    """
+    n_apps = max(n_apps, 3)
+    period = Fraction(9, 1000)
+    sd, ld = BOTTLENECK_DELAYS.sd, BOTTLENECK_DELAYS.ld
+    hop = sd + ld
+    direct_min = 2 * hop + ld   # tightest e2e on the 2-switch direct route
+    relief_min = 3 * hop + ld   # tightest e2e via the relief switch D
+    net = bottleneck_network(n_apps, islands=islands)
+    # Per-app delay bounds pin a *unique* schedule: app0 must take the
+    # direct link's first transmission slot (beta = direct_min), app1 the
+    # second, app3.. the following ones (one link delay later each), and
+    # app2 can afford neither a direct slot behind them nor a delayed
+    # relief detour — only the relief path at its exact minimum.  So the
+    # all-shortest-routes selection is infeasible (routes-1 proves unsat)
+    # while routes-2 has exactly one model.
+    betas = [direct_min, direct_min + ld, relief_min]
+    betas += [direct_min + (i - 1) * ld for i in range(3, n_apps)]
+    apps = [
+        ControlApplication(
+            f"app{i}", f"S{i}", f"C{i}", period,
+            StabilitySpec.single_line("1", str(Fraction(betas[i]))),
+        )
+        for i in range(n_apps)
+    ]
+    for k in range(islands):
+        pre = f"I{k}."
+        apps.append(
+            ControlApplication(
+                f"island{k}", pre + "S", pre + "C", period,
+                StabilitySpec.single_line("1", str(Fraction(direct_min))),
+            )
+        )
+    return SynthesisProblem(net, apps, BOTTLENECK_DELAYS)
+
+
+def sharing_unsat_problem(n_apps: int = 3, islands: int = 1) -> SynthesisProblem:
+    """Infeasible companion of :func:`sharing_problem` (deterministic).
+
+    The funnel period is shrunk below the relief path's latency, so the
+    instance is unsat under *any* route selection.  In a shared-knowledge
+    race ordered ``routes-2, routes-1, monolithic``, routes-2's genuine
+    unsat proof exports its learned clauses and the route veto covering
+    both candidates; seeded with them, routes-1 refutes by the veto's
+    empty escape clause and the monolithic (complete) strategy proves
+    unsat by propagation alone — supplying the race's sound ``unsat``
+    verdict at a fraction of the unshared conflict count.
+    """
+    return bottleneck_problem(n_apps, period=Fraction(35, 10000),
+                              islands=islands)
+
+
 # ---------------------------------------------------------------------------
 # The General Motors case study (Table I)
 # ---------------------------------------------------------------------------

@@ -3,9 +3,14 @@
 The paper evaluates its two scalability heuristics (route subsets,
 incremental stages) one configuration at a time; this subsystem runs a
 configurable set of them concurrently against the same problem and
-returns the first satisfiable schedule, cancelling the rest.  See
-:mod:`repro.portfolio.strategies` for the default strategy mix and
-:mod:`repro.portfolio.engine` for the racing machinery.
+returns the first satisfiable schedule, cancelling the rest.  Race
+verdicts are sound (``unsat`` only from a complete strategy's proof) and
+workers share learned information — clauses, route vetoes, stage
+prefixes — through a parent-side knowledge pool.  See
+:mod:`repro.portfolio.strategies` for the default strategy mix,
+:mod:`repro.portfolio.engine` for the racing machinery and
+:mod:`repro.portfolio.sharing` for the artifact kinds and their
+soundness arguments.
 """
 
 from .engine import (
@@ -15,20 +20,25 @@ from .engine import (
     STATUS_SAT,
     STATUS_SKIPPED,
     STATUS_TIMEOUT,
+    STATUS_UNKNOWN,
     STATUS_UNSAT,
     StrategyResult,
     synthesize_portfolio,
 )
+from .sharing import KnowledgePool, SeedKnowledge
 from .strategies import Strategy, default_portfolio, with_backend, with_restart_schedule
 
 __all__ = [
+    "KnowledgePool",
     "PortfolioResult",
     "STATUS_CANCELLED",
     "STATUS_ERROR",
     "STATUS_SAT",
     "STATUS_SKIPPED",
     "STATUS_TIMEOUT",
+    "STATUS_UNKNOWN",
     "STATUS_UNSAT",
+    "SeedKnowledge",
     "Strategy",
     "StrategyResult",
     "default_portfolio",

@@ -6,6 +6,23 @@ a satisfiable schedule it terminates the rest — the classic SAT-portfolio
 scheme (each strategy explores a different slice of the search space, so
 the *minimum* of their runtimes is usually far below any fixed choice).
 
+Race verdicts are sound: ``unsat`` is reported only when a *complete*
+strategy (all routes, single stage) actually proved it — the heuristics
+may fail on solvable instances, so an all-timeout or all-heuristic-unsat
+race reports ``timeout`` / ``unknown`` instead, and
+``PortfolioResult.verdict_by`` names the strategy that supplied the
+verdict.  A complete strategy's unsat ends the race early (nothing can
+beat a proof).
+
+With ``share_knowledge`` (default on) workers stream compact artifacts
+back over their result pipes *while solving* — learned clauses, frozen
+stage prefixes, and route-subset vetoes (see
+:mod:`repro.portfolio.sharing` for the artifact kinds and their
+soundness) — and the parent aggregates them into a
+:class:`~repro.portfolio.sharing.KnowledgePool` that seeds every restart
+attempt and late launch through ``SynthesisOptions.seed_knowledge``, so
+re-runs start warm instead of cold.
+
 Results always include one :class:`StrategyResult` per entered strategy,
 so experiment code can attribute wins, losses, and cancellations::
 
@@ -20,8 +37,9 @@ travels back as plain :class:`~repro.core.solution.MessageSchedule`
 records and is re-attached to the caller's problem object, so no solver
 state ever crosses the process boundary.  ``backend="serial"`` runs the
 strategies in order in-process (deterministic, used on platforms without
-usable subprocesses); a failed process launch degrades to it
-automatically.
+usable subprocesses and by the ``portfolio`` bench); a failed process
+launch degrades to it automatically.  Knowledge sharing works in both
+backends — serially it flows from each finished strategy into the next.
 """
 
 from __future__ import annotations
@@ -29,11 +47,14 @@ from __future__ import annotations
 import multiprocessing
 import multiprocessing.connection
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..api import NativeBackend, Session
 from ..core.solution import Solution
-from ..core.synthesizer import MODE_STABILITY, SynthesisResult, solve
+from ..core.synthesizer import MODE_STABILITY, SynthesisResult
+from . import sharing
+from .sharing import KnowledgePool
 from .strategies import Strategy, default_portfolio
 
 #: Terminal per-strategy statuses.
@@ -42,7 +63,16 @@ STATUS_UNSAT = "unsat"
 STATUS_ERROR = "error"          # the worker raised / died
 STATUS_CANCELLED = "cancelled"  # lost the race, terminated
 STATUS_TIMEOUT = "timeout"      # still running at the deadline
-STATUS_SKIPPED = "skipped"      # never started (winner found first)
+STATUS_SKIPPED = "skipped"      # never started (race decided first)
+STATUS_UNKNOWN = "unknown"      # undecided (heuristic unsat / errors only)
+
+#: Every status a strategy result may legitimately carry.  Worker
+#: payloads are validated against this set so a malformed payload can
+#: never masquerade as a verdict.
+_STRATEGY_STATUSES = frozenset({
+    STATUS_SAT, STATUS_UNSAT, STATUS_ERROR, STATUS_CANCELLED,
+    STATUS_TIMEOUT, STATUS_SKIPPED, STATUS_UNKNOWN,
+})
 
 
 @dataclass
@@ -62,13 +92,23 @@ class StrategyResult:
 
 @dataclass
 class PortfolioResult:
-    """Outcome of a portfolio race."""
+    """Outcome of a portfolio race.
 
-    status: str                          # "sat" or "unsat"
+    ``status`` is ``"sat"`` (winner found), ``"unsat"`` (a *complete*
+    strategy proved infeasibility), ``"timeout"`` (undecided at a
+    deadline), or ``"unknown"`` (every strategy failed heuristically or
+    errored — the instance may still be solvable).  ``verdict_by`` names
+    the strategy whose result decided the race (None when undecided).
+    """
+
+    status: str
     winner: Optional[str]                # name of the first sat strategy
     solution: Optional[Solution]
     total_time: float
     strategy_results: List[StrategyResult]
+    verdict_by: Optional[str] = None
+    #: Knowledge-pool counters of this race (empty when sharing is off).
+    pool_statistics: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -88,6 +128,7 @@ def synthesize_portfolio(
     max_workers: Optional[int] = None,
     timeout: Optional[float] = None,
     backend: str = "process",
+    share_knowledge: bool = True,
 ) -> PortfolioResult:
     """Race ``strategies`` (default: :func:`default_portfolio`) on ``problem``.
 
@@ -104,6 +145,11 @@ def synthesize_portfolio(
     probes every strategy quickly before giving the slow ones more time.
     The serial backend ignores per-strategy budgets (one non-preemptible
     attempt each).
+
+    ``share_knowledge`` pools learned clauses, route vetoes and stage
+    prefixes across workers and seeds restarts/late launches with them
+    (:mod:`repro.portfolio.sharing`); turn it off for strict isolation
+    A/B runs.
     """
     entries = list(strategies) if strategies is not None else default_portfolio(mode=mode)
     if not entries:
@@ -112,32 +158,82 @@ def synthesize_portfolio(
     if len(set(names)) != len(names):
         raise ValueError(f"duplicate strategy names in portfolio: {names}")
     if backend == "serial":
-        return _race_serial(problem, entries, timeout)
+        return _race_serial(problem, entries, timeout, share_knowledge)
     if backend != "process":
         raise ValueError(f"unknown backend {backend!r} (use 'process' or 'serial')")
     try:
-        return _race_processes(problem, entries, max_workers, timeout)
+        return _race_processes(problem, entries, max_workers, timeout,
+                               share_knowledge)
     except OSError:
         # No subprocess could be launched at all (restricted sandbox):
         # degrade gracefully.  Launch failures *mid-race* are handled
         # inside _race_processes and never reach this fallback.
-        return _race_serial(problem, entries, timeout)
+        return _race_serial(problem, entries, timeout, share_knowledge)
 
 
 # ---------------------------------------------------------------------------
-# Worker side
+# Running one strategy (shared by the worker processes and the serial path)
 # ---------------------------------------------------------------------------
 
 
-def _strategy_worker(conn, problem, strategy: Strategy) -> None:
-    """Run one strategy and ship a picklable result summary back."""
+def _execute_strategy(problem, strategy: Strategy, emit=None) -> dict:
+    """Run one strategy to completion; return its result payload.
+
+    ``emit`` (optional) receives knowledge artifacts as they become
+    available: frozen stage prefixes while solving, learned clauses and
+    route vetoes on a provable unsat.  Native-backend strategies solve on
+    a locally built engine whose statistics-stream tag carries the
+    strategy name, so benchmark trajectories can attribute per-check work
+    per strategy (``by_backend`` roll-up in ``BENCH_*.json``).
+    """
+    from ..core import synthesizer as synth
+
+    # One blanket guard around the whole attempt (engine construction,
+    # solve, artifact export): any failure becomes this strategy's error
+    # result instead of sinking the race — the serial backend runs this
+    # in-process, so an escaped exception would lose every other entrant.
     try:
-        result = solve(problem, strategy.options)
-        conn.send(_payload_of(result))
-    except Exception as exc:  # noqa: BLE001 - report, don't crash the race
+        opts = strategy.options
+        session = engine = None
+        if opts.backend == "native":
+            # synth.Solver is the patchable engine factory (the
+            # one-engine-per-run contract tests rely on it).
+            engine = synth.Solver()
+            session = Session(backend=NativeBackend(engine=engine))
+            engine.backend_name = f"native[{strategy.name}]"
+        on_event = None
+        if emit is not None:
+            def on_event(event: dict) -> None:
+                if event.get("kind") == "stage_frozen":
+                    emit(sharing.prefix_artifact(opts, event["stage"],
+                                                 event["fixed"]))
+        result: SynthesisResult = synth.solve(
+            problem, opts, session=session, on_event=on_event
+        )
+        if emit is not None:
+            for artifact in sharing.terminal_artifacts(opts, result, engine):
+                emit(artifact)
+        return _payload_of(result)
+    except Exception as exc:  # noqa: BLE001 - report, don't sink the race
+        return {"status": STATUS_ERROR,
+                "error": f"{type(exc).__name__}: {exc}"}
+
+
+def _strategy_worker(conn, problem, strategy: Strategy,
+                     share: bool = False) -> None:
+    """Run one strategy and stream artifacts + the result summary back."""
+    try:
+        emit = None
+        if share:
+            def emit(artifact: dict) -> None:
+                conn.send({"kind": "artifact", "artifact": artifact})
+        payload = _execute_strategy(problem, strategy, emit)
+        conn.send({"kind": "result", "payload": payload})
+    except Exception as exc:  # noqa: BLE001
         try:
-            conn.send({"status": STATUS_ERROR,
-                       "error": f"{type(exc).__name__}: {exc}"})
+            conn.send({"kind": "result",
+                       "payload": {"status": STATUS_ERROR,
+                                   "error": f"{type(exc).__name__}: {exc}"}})
         except Exception:
             pass
     finally:
@@ -157,17 +253,36 @@ def _payload_of(result: SynthesisResult) -> dict:
 
 
 def _result_from_payload(
-    name: str, payload: dict, wall_time: float
+    name: str, payload: dict, wall_time: float, attempts: int = 1
 ) -> StrategyResult:
+    """The one constructor every worker payload goes through.
+
+    Validates the reported status against the known vocabulary (and that
+    a ``sat`` claim actually carries schedules), so a corrupt or
+    malformed payload surfaces as :data:`STATUS_ERROR` instead of
+    masquerading as a verdict.
+    """
+    if not isinstance(payload, dict):
+        payload = {"status": STATUS_ERROR,
+                   "error": f"malformed worker payload: {payload!r:.100}"}
+    status = payload.get("status")
+    error = payload.get("error")
+    if status not in _STRATEGY_STATUSES:
+        error = f"worker reported unknown status {status!r}"
+        status = STATUS_ERROR
+    elif status == STATUS_SAT and payload.get("schedules") is None:
+        error = "worker reported sat without a schedule payload"
+        status = STATUS_ERROR
     return StrategyResult(
         name=name,
-        status=payload["status"],
+        status=status,
         wall_time=wall_time,
         synthesis_time=payload.get("synthesis_time", 0.0),
         stages_completed=payload.get("stages_completed", 0),
         failed_stage=payload.get("failed_stage"),
         statistics=payload.get("statistics", {}),
-        error=payload.get("error"),
+        error=error,
+        attempts=attempts,
     )
 
 
@@ -180,6 +295,29 @@ def _solution_from_payload(problem, payload: dict, wall_time: float) -> Solution
     )
 
 
+def _final_verdict(
+    entries: Sequence[Strategy],
+    results: Sequence[StrategyResult],
+    winner: Optional[str],
+    timed_out: bool,
+) -> Tuple[str, Optional[str]]:
+    """The race's sound overall status and the strategy that supplied it.
+
+    ``unsat`` requires a complete strategy's proof; heuristic unsats,
+    errors and timeouts leave the instance undecided (``timeout`` /
+    ``unknown``), never claiming infeasibility without one.
+    """
+    if winner is not None:
+        return STATUS_SAT, winner
+    complete = {s.name for s in entries if s.is_complete}
+    for sr in results:
+        if sr.status == STATUS_UNSAT and sr.name in complete:
+            return STATUS_UNSAT, sr.name
+    if timed_out or any(sr.status == STATUS_TIMEOUT for sr in results):
+        return STATUS_TIMEOUT, None
+    return STATUS_UNKNOWN, None
+
+
 # ---------------------------------------------------------------------------
 # Process racing
 # ---------------------------------------------------------------------------
@@ -190,6 +328,7 @@ def _race_processes(
     entries: List[Strategy],
     max_workers: Optional[int],
     timeout: Optional[float],
+    share_knowledge: bool,
 ) -> PortfolioResult:
     ctx = multiprocessing.get_context()
     # Default to racing *every* strategy at once: a portfolio's value is the
@@ -199,6 +338,7 @@ def _race_processes(
     workers = max(1, min(len(entries), max_workers or len(entries)))
     t0 = time.perf_counter()
     deadline = t0 + timeout if timeout is not None else None
+    pool = KnowledgePool() if share_knowledge else None
 
     # Launch queue: (idx, strategy, attempt_no).  Attempt 1 uses
     # strategy.timeout; attempt k>1 uses strategy.restarts[k-2].
@@ -209,6 +349,7 @@ def _race_processes(
     winner_idx: Optional[int] = None
     winner_payload: Optional[dict] = None
     winner_wall = 0.0
+    prover_idx: Optional[int] = None  # complete strategy that proved unsat
 
     def attempt_budget(strategy: Strategy, attempt: int) -> Optional[float]:
         if strategy.timeout is None:
@@ -220,10 +361,17 @@ def _race_processes(
     def launch_available() -> None:
         while pending and len(running) < workers:
             idx, strategy, attempt = pending.pop(0)
+            launched = strategy
+            if pool is not None:
+                # Seed restarts and late launches with everything the
+                # pool has gathered so far (cold start -> warm start).
+                seeded = pool.seeded_options(strategy.options)
+                if seeded is not strategy.options:
+                    launched = replace(strategy, options=seeded)
             parent_conn, child_conn = ctx.Pipe(duplex=False)
             proc = ctx.Process(
                 target=_strategy_worker,
-                args=(child_conn, problem, strategy),
+                args=(child_conn, problem, launched, pool is not None),
                 name=f"portfolio-{strategy.name}",
                 daemon=True,
             )
@@ -255,35 +403,73 @@ def _race_processes(
                 sdeadline = deadline if sdeadline is None else min(sdeadline, deadline)
             running[idx] = (proc, parent_conn, started, sdeadline, attempt)
 
-    def harvest(idx: int) -> None:
-        """Collect one finished worker's report (or its corpse)."""
-        nonlocal winner_idx, winner_payload, winner_wall
-        proc, conn, started, _sdeadline, attempt = running.pop(idx)
-        wall = spent_wall.get(idx, 0.0) + time.perf_counter() - started
+    def pump(idx: int) -> Optional[dict]:
+        """Drain a worker's queued messages; return its result payload.
+
+        Knowledge artifacts are absorbed into the pool as they arrive —
+        the worker keeps running.  Returns None while no result has been
+        seen; a broken pipe yields a corpse payload (routed through the
+        validating constructor like any other).
+        """
+        proc, conn = running[idx][0], running[idx][1]
         try:
-            payload = conn.recv()
+            while conn.poll():
+                msg = conn.recv()
+                if isinstance(msg, dict) and msg.get("kind") == "artifact":
+                    if pool is not None:
+                        pool.absorb(msg.get("artifact"),
+                                    source=entries[idx].name)
+                    continue
+                if isinstance(msg, dict) and msg.get("kind") == "result":
+                    return msg.get("payload")
+                return {"status": STATUS_ERROR,
+                        "error": f"malformed worker message: {msg!r:.100}"}
         except (EOFError, OSError):
-            payload = {"status": STATUS_ERROR,
-                       "error": f"worker exited without a result "
-                                f"(exitcode={proc.exitcode})"}
+            return {"status": STATUS_ERROR,
+                    "error": f"worker exited without a result "
+                             f"(exitcode={proc.exitcode})"}
+        return None
+
+    def settle(idx: int, state: tuple, payload: dict) -> None:
+        """Record one finished attempt's report; track race deciders."""
+        nonlocal winner_idx, winner_payload, winner_wall, prover_idx
+        proc, conn, started, _sdeadline, attempt = state
+        wall = spent_wall.get(idx, 0.0) + time.perf_counter() - started
         conn.close()
         proc.join()
-        result = _result_from_payload(entries[idx].name, payload, wall)
-        result.attempts = attempt
+        result = _result_from_payload(entries[idx].name, payload, wall,
+                                      attempts=attempt)
         results[idx] = result
-        if winner_idx is None and payload["status"] == STATUS_SAT:
+        if winner_idx is None and result.status == STATUS_SAT:
             winner_idx, winner_payload, winner_wall = idx, payload, wall
+        if (prover_idx is None and result.status == STATUS_UNSAT
+                and entries[idx].is_complete):
+            prover_idx = idx
+
+    def salvage_artifacts(conn, source: str) -> None:
+        """Absorb artifacts a worker streamed before it was terminated."""
+        if pool is None:
+            return
+        try:
+            while conn.poll():
+                msg = conn.recv()
+                if isinstance(msg, dict) and msg.get("kind") == "artifact":
+                    pool.absorb(msg.get("artifact"), source=source)
+        except (EOFError, OSError):
+            pass
 
     def expire(idx: int, now: float) -> None:
         """Kill an attempt at its per-strategy deadline; maybe re-queue."""
         # A result may have landed after the last connection.wait(): honor
         # it (it could be the winning sat) instead of discarding it.
-        if running[idx][1].poll():
-            harvest(idx)
+        payload = pump(idx)
+        if payload is not None:
+            settle(idx, running.pop(idx), payload)
             return
         proc, conn, started, _sdeadline, attempt = running.pop(idx)
         proc.terminate()
         proc.join()
+        salvage_artifacts(conn, entries[idx].name)
         conn.close()
         spent_wall[idx] = spent_wall.get(idx, 0.0) + now - started
         strategy = entries[idx]
@@ -301,7 +487,7 @@ def _race_processes(
 
     launch_available()
     timed_out = False
-    while running and winner_idx is None:
+    while running and winner_idx is None and prover_idx is None:
         now = time.perf_counter()
         wait_for = 0.1
         if deadline is not None:
@@ -319,12 +505,14 @@ def _race_processes(
         # winner is still the first sat in launch order).
         for idx in sorted(running):
             if running[idx][1] in ready_set:
-                harvest(idx)
+                payload = pump(idx)
+                if payload is not None:
+                    settle(idx, running.pop(idx), payload)
         now = time.perf_counter()
         if deadline is not None and now >= deadline:
             timed_out = True
             break
-        if winner_idx is not None:
+        if winner_idx is not None or prover_idx is not None:
             break
         # Enforce per-strategy deadlines (restart schedule re-queues).
         for idx in sorted(running):
@@ -361,12 +549,18 @@ def _race_processes(
         if winner_payload is not None
         else None
     )
+    ordered = [results[i] for i in sorted(results)]
+    winner_name = entries[winner_idx].name if winner_idx is not None else None
+    status, verdict_by = _final_verdict(entries, ordered, winner_name,
+                                        timed_out)
     return PortfolioResult(
-        status=STATUS_SAT if winner_idx is not None else STATUS_UNSAT,
-        winner=entries[winner_idx].name if winner_idx is not None else None,
+        status=status,
+        winner=winner_name,
         solution=solution,
         total_time=total,
-        strategy_results=[results[i] for i in sorted(results)],
+        strategy_results=ordered,
+        verdict_by=verdict_by,
+        pool_statistics=pool.statistics if pool is not None else {},
     )
 
 
@@ -379,37 +573,53 @@ def _race_serial(
     problem,
     entries: List[Strategy],
     timeout: Optional[float],
+    share_knowledge: bool = True,
 ) -> PortfolioResult:
     t0 = time.perf_counter()
     deadline = t0 + timeout if timeout is not None else None
+    pool = KnowledgePool() if share_knowledge else None
     results: List[StrategyResult] = []
     winner: Optional[str] = None
     solution: Optional[Solution] = None
+    decided = False
+    timed_out = False
 
-    for i, strategy in enumerate(entries):
-        if winner is not None or (
-            deadline is not None and time.perf_counter() >= deadline
-        ):
-            status = STATUS_SKIPPED if winner is not None else STATUS_TIMEOUT
-            results.append(StrategyResult(strategy.name, status, 0.0))
+    for strategy in entries:
+        if decided:
+            results.append(StrategyResult(strategy.name, STATUS_SKIPPED, 0.0))
             continue
+        if deadline is not None and time.perf_counter() >= deadline:
+            timed_out = True
+            results.append(StrategyResult(strategy.name, STATUS_TIMEOUT, 0.0))
+            continue
+        run = strategy
+        emit = None
+        if pool is not None:
+            seeded = pool.seeded_options(strategy.options)
+            if seeded is not strategy.options:
+                run = replace(strategy, options=seeded)
+
+            def emit(artifact: dict, _name=strategy.name) -> None:
+                pool.absorb(artifact, source=_name)
         started = time.perf_counter()
-        try:
-            result = solve(problem, strategy.options)
-            payload = _payload_of(result)
-        except Exception as exc:  # noqa: BLE001 - keep racing
-            payload = {"status": STATUS_ERROR,
-                       "error": f"{type(exc).__name__}: {exc}"}
+        payload = _execute_strategy(problem, run, emit)
         wall = time.perf_counter() - started
-        results.append(_result_from_payload(strategy.name, payload, wall))
-        if payload["status"] == STATUS_SAT:
+        result = _result_from_payload(strategy.name, payload, wall)
+        results.append(result)
+        if result.status == STATUS_SAT and winner is None:
             winner = strategy.name
             solution = _solution_from_payload(problem, payload, wall)
+            decided = True
+        elif result.status == STATUS_UNSAT and strategy.is_complete:
+            decided = True  # a proof: nothing left to race for
 
+    status, verdict_by = _final_verdict(entries, results, winner, timed_out)
     return PortfolioResult(
-        status=STATUS_SAT if winner is not None else STATUS_UNSAT,
+        status=status,
         winner=winner,
         solution=solution,
         total_time=time.perf_counter() - t0,
         strategy_results=results,
+        verdict_by=verdict_by,
+        pool_statistics=pool.statistics if pool is not None else {},
     )

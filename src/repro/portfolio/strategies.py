@@ -53,6 +53,22 @@ class Strategy:
         # Tolerate lists from callers; the engine treats it as a queue.
         if not isinstance(self.restarts, tuple):
             object.__setattr__(self, "restarts", tuple(self.restarts))
+        # A zero/negative restart budget would re-queue with a deadline
+        # already in the past: expire() and the launch loop would spin
+        # until the schedule drains without ever giving the solver time.
+        if any(budget is None or budget <= 0 for budget in self.restarts):
+            raise ValueError("restart budgets must all be positive")
+
+    @property
+    def is_complete(self) -> bool:
+        """Does this strategy explore the *whole* solution space?
+
+        Only a complete strategy's ``unsat`` is a proof of infeasibility;
+        the route-subset and incremental heuristics may fail on solvable
+        instances (paper Sec. V-C), so their verdicts never decide a
+        portfolio race (see ``PortfolioResult.verdict_by``).
+        """
+        return self.options.routes is None and self.options.stages == 1
 
 
 def with_restart_schedule(

@@ -107,14 +107,20 @@ class _TheoryReason:
 
 
 class _Clause:
-    """A clause with activity bookkeeping for database reduction."""
+    """A clause with activity bookkeeping for database reduction.
 
-    __slots__ = ("lits", "learnt", "activity")
+    ``lbd`` (literal block distance: distinct decision levels among the
+    literals at learning time) is recorded for learned clauses; it ranks
+    sharing-export candidates (low LBD = likely to propagate elsewhere).
+    """
 
-    def __init__(self, lits: List[int], learnt: bool):
+    __slots__ = ("lits", "learnt", "activity", "lbd")
+
+    def __init__(self, lits: List[int], learnt: bool, lbd: int = 0):
         self.lits = lits
         self.learnt = learnt
         self.activity = 0.0
+        self.lbd = lbd
 
 
 def _clause_activity(c: _Clause) -> float:
@@ -269,6 +275,14 @@ class SatSolver:
             raise SolverError("no model available; call solve() first")
         return self._model[var] == TRUE
 
+    def learned_clauses(self) -> List[_Clause]:
+        """The live learned-clause database (read-only view for export).
+
+        Unit learned clauses are asserted directly on the trail and never
+        stored, so they do not appear here.
+        """
+        return list(self._learnts)
+
     @property
     def failed_assumptions(self) -> List[int]:
         """The assumption literals responsible for the last UNSAT answer.
@@ -404,6 +418,7 @@ class SatSolver:
             ):
                 kept.append(q)
         learnt = kept
+        lbd = len({self._levels[var_of(q)] for q in learnt})
         if len(learnt) == 1:
             back_level = 0
         else:
@@ -414,7 +429,7 @@ class SatSolver:
                     max_i = k
             learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
             back_level = self._levels[var_of(learnt[1])]
-        return learnt, back_level
+        return learnt, back_level, lbd
 
     def _analyze_final(
         self, conflict_lits: Sequence[int], assumptions: Sequence[int]
@@ -457,12 +472,12 @@ class SatSolver:
         core.reverse()
         return core
 
-    def _record_learnt(self, learnt: List[int]) -> None:
+    def _record_learnt(self, learnt: List[int], lbd: int = 0) -> None:
         """Install a learned clause and assert its first literal."""
         if len(learnt) == 1:
             self._enqueue(learnt[0], None)
             return
-        clause = _Clause(learnt, learnt=True)
+        clause = _Clause(learnt, learnt=True, lbd=lbd)
         self._learnts.append(clause)
         self._attach(clause)
         self._bump_clause(clause)
@@ -722,9 +737,9 @@ class SatSolver:
                         )
                     self.cancel_until(0)
                     return False
-                learnt, back_level = self._analyze(conflict)
+                learnt, back_level, lbd = self._analyze(conflict)
                 self.cancel_until(back_level)
-                self._record_learnt(learnt)
+                self._record_learnt(learnt, lbd)
                 self._decay_var_activity()
                 self._decay_clause_activity()
                 continue
@@ -762,9 +777,9 @@ class SatSolver:
                             )
                         self.cancel_until(0)
                         return False
-                    learnt, back_level = self._analyze(conflict)
+                    learnt, back_level, lbd = self._analyze(conflict)
                     self.cancel_until(back_level)
-                    self._record_learnt(learnt)
+                    self._record_learnt(learnt, lbd)
                     continue
                 self._model = list(self._assigns)
                 self.cancel_until(0)

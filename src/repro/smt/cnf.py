@@ -34,12 +34,25 @@ class CnfConverter:
         self._atom_vars: Dict[Tuple, int] = {}
         self._node_cache: Dict[int, int] = {}
         self._true_lit: int | None = None
+        # SAT variable -> originating BoolVar/Atom, for the clause-sharing
+        # export path (Tseitin and scope variables have no stable origin
+        # and are deliberately absent).
+        self._origins: Dict[int, BoolExpr] = {}
 
     # ------------------------------------------------------------------
 
     @property
     def bool_vars(self) -> Dict[BoolVar, int]:
         return self._bool_vars
+
+    def origin_of(self, var: int) -> BoolExpr | None:
+        """The interned BoolVar/Atom a SAT variable stands for, if any.
+
+        Returns None for internal variables (Tseitin definitions, the
+        constant-true variable): their meaning is solver-local, so clauses
+        over them are not exportable.
+        """
+        return self._origins.get(var)
 
     def assert_formula(self, expr: BoolExpr) -> None:
         """Assert ``expr`` at the root level."""
@@ -99,6 +112,7 @@ class CnfConverter:
         if v is None:
             v = self._sat.new_var()
             self._bool_vars[var] = v
+            self._origins[v] = var
         return v
 
     def _var_for_atom(self, atom: Atom) -> int:
@@ -107,6 +121,7 @@ class CnfConverter:
         if v is None:
             v = self._sat.new_var()
             self._atom_vars[key] = v
+            self._origins[v] = atom
             self._theory.register_atom(atom, v)
         return v
 

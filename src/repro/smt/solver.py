@@ -44,7 +44,7 @@ from fractions import Fraction
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..errors import SolverError
-from ..sat.literals import TRUE
+from ..sat.literals import TRUE, is_positive, neg, var_of
 from ..sat.solver import SatSolver
 from .cnf import CnfConverter
 from .terms import (
@@ -59,6 +59,8 @@ from .terms import (
     Or,
     OrExpr,
     RealVar,
+    deserialize_literal,
+    serialize_literal,
 )
 from .theory import LraTheory
 
@@ -235,6 +237,7 @@ class SolverEngine:
         self._raw_core_lits: List[int] = []
         self._min_core_lits: Optional[List[int]] = None
         self._core_checks = 0
+        self._clauses_imported = 0
 
     @property
     def assertions(self) -> list[BoolExpr]:
@@ -242,7 +245,9 @@ class SolverEngine:
 
     @property
     def statistics(self) -> dict:
-        return self._sat.statistics
+        stats = self._sat.statistics
+        stats["clauses_imported"] = self._clauses_imported
+        return stats
 
     @property
     def last_check_statistics(self) -> Dict[str, int]:
@@ -413,6 +418,80 @@ class SolverEngine:
                     l for l in self._sat.failed_assumptions if l in kept
                 ]
         return core
+
+    # ------------------------------------------------------------------
+    # Learned-clause exchange (portfolio knowledge sharing)
+    # ------------------------------------------------------------------
+
+    @property
+    def clauses_imported(self) -> int:
+        """Clauses installed through :meth:`import_clauses` so far."""
+        return self._clauses_imported
+
+    def export_learned_clauses(
+        self,
+        max_size: int = 8,
+        max_lbd: int = 8,
+        max_count: int = 256,
+        vocabulary=None,
+    ):
+        """Learned clauses serialized over the stable term vocabulary.
+
+        A clause is exportable when every literal's SAT variable maps back
+        to an interned :class:`~repro.smt.terms.BoolVar` or
+        :class:`~repro.smt.terms.Atom` (Tseitin definitions and scope
+        selectors never export) and, when ``vocabulary`` is given, every
+        such term passes it.  Candidates are capped by clause ``max_size``
+        and learning-time ``max_lbd``, ranked (LBD, size) ascending, and
+        truncated to ``max_count``.  Returns a list of clauses, each a
+        tuple of serialized literals (see
+        :func:`repro.smt.terms.serialize_literal`).
+        """
+        ranked = []
+        for clause in self._sat.learned_clauses():
+            lits = clause.lits
+            if len(lits) > max_size or clause.lbd > max_lbd:
+                continue
+            serialized = []
+            for l in lits:
+                origin = self._cnf.origin_of(var_of(l))
+                if origin is None or (
+                    vocabulary is not None and not vocabulary(origin)
+                ):
+                    serialized = None
+                    break
+                serialized.append(
+                    serialize_literal(origin, negated=not is_positive(l))
+                )
+            if serialized:
+                ranked.append((clause.lbd, len(lits), tuple(serialized)))
+        ranked.sort(key=lambda t: (t[0], t[1]))
+        return [ser for _, _, ser in ranked[:max_count]]
+
+    def import_clauses(self, clauses, pad: Iterable[BoolExpr] = ()) -> int:
+        """Install serialized clauses (weakened by the ``pad`` literals).
+
+        Each clause's literals are deserialized through the interning
+        layer — atoms are registered with the theory on first sight — and
+        the clause ``C or pad[0] or ...`` is added at the root level.
+        ``pad`` carries the *relaxation literals* required when the
+        exporting solver ran under a stricter route restriction than this
+        one (see ``docs/perf.md``, portfolio sharing).  Returns the number
+        of clauses installed.  Must be called between checks (the solver
+        is at decision level 0 then).
+        """
+        pad_lits = [self._cnf.literal_for(e) for e in pad]
+        count = 0
+        for clause in clauses:
+            lits = []
+            for ser in clause:
+                expr, negated = deserialize_literal(ser)
+                lit = self._cnf.literal_for(expr)
+                lits.append(neg(lit) if negated else lit)
+            self._sat.add_clause(lits + pad_lits)
+            count += 1
+        self._clauses_imported += count
+        return count
 
     def model(self) -> Model:
         if self._model is None:

@@ -328,6 +328,50 @@ class Atom(BoolExpr):
 
 
 # ---------------------------------------------------------------------------
+# Canonical literal serialization (cross-process clause sharing)
+# ---------------------------------------------------------------------------
+#
+# Portfolio workers exchange learned clauses as plain tuples; a literal is
+# either a named propositional variable or a normalized linear atom.  Both
+# kinds are *interned* — ``BoolVar``/``RealVar`` by name, atoms by their
+# canonical :attr:`Atom.key` in the CNF layer — so a serialized literal
+# deserializes to the semantically identical term in any process, which is
+# what makes clauses learned by one solver importable into another.
+# Fractions travel as ``"num/den"`` strings (exact, hashable, picklable).
+
+
+def serialize_literal(expr: "BoolExpr", negated: bool) -> Tuple:
+    """A hashable, picklable encoding of a Boolean literal.
+
+    Supports :class:`BoolVar` and :class:`Atom` leaves only — the stable,
+    name-interned vocabulary that survives process boundaries.
+    """
+    if isinstance(expr, BoolVar):
+        return ("b", expr.name, negated)
+    if isinstance(expr, Atom):
+        coeffs = tuple((v.name, str(c)) for v, c in expr.coeffs)
+        return ("a", coeffs, str(expr.rhs), expr.strict, negated)
+    raise SolverError(f"cannot serialize literal over {expr!r}")
+
+
+def deserialize_literal(ser: Tuple) -> Tuple["BoolExpr", bool]:
+    """Inverse of :func:`serialize_literal`: ``(expr, negated)``."""
+    kind = ser[0]
+    if kind == "b":
+        _, name, negated = ser
+        return BoolVar(name), negated
+    if kind == "a":
+        _, coeffs, rhs, strict, negated = ser
+        atom = Atom(
+            tuple((RealVar(name), Fraction(c)) for name, c in coeffs),
+            Fraction(rhs),
+            strict,
+        )
+        return atom, negated
+    raise SolverError(f"unknown serialized literal kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
 # Formula constructors
 # ---------------------------------------------------------------------------
 
