@@ -85,10 +85,14 @@ class NativeBackend:
 
     def __init__(self, theory_propagation: bool = True,
                  float_prefilter: bool = False,
+                 dl_propagation: bool = True,
+                 dl_effort: Optional[int] = None,
                  engine: Optional[SolverEngine] = None) -> None:
         self._engine = engine if engine is not None else SolverEngine(
             theory_propagation=theory_propagation,
-            float_prefilter=float_prefilter)
+            float_prefilter=float_prefilter,
+            dl_propagation=dl_propagation,
+            dl_effort=dl_effort)
         self._engine.backend_name = self.name
 
     @property

@@ -66,7 +66,8 @@ MODE_DEADLINE = "deadline"
 
 #: Solver search-effort counters aggregated into result statistics.
 _SOLVER_KEYS = ("conflicts", "decisions", "propagations",
-                "theory_propagations")
+                "theory_propagations", "dl_propagations",
+                "dl_explanation_lits")
 
 
 @dataclass(frozen=True)
@@ -82,6 +83,10 @@ class SynthesisOptions:
         path_cutoff: optional hop bound when enumerating all routes.
         backend: solving backend for the run's session (``"native"`` or
             ``"serialization"``; see :mod:`repro.api.backends`).
+        dl_propagation: transitive difference-logic propagation in the
+            native engine (Cotton & Maler SSSP pass; on by default —
+            A/B knob for the ``dl_propagation`` benchmark, counted by
+            the ``dl_propagations`` statistic).
         probe_routes: probe shortest-route selections with assumptions
             before each full stage solve (complete: falls back on the
             unrestricted solve, so statuses never change).
@@ -102,6 +107,7 @@ class SynthesisOptions:
     stages: int = 1
     path_cutoff: Optional[int] = None
     backend: str = "native"
+    dl_propagation: bool = True
     probe_routes: bool = True
     repair: bool = False
     max_repair_rounds: int = 3
@@ -261,7 +267,8 @@ def solve(
         if opts.backend == "native":
             # The module-level ``Solver`` name is the engine factory the
             # one-engine-per-run contract tests patch.
-            session = Session(backend=NativeBackend(engine=Solver()))
+            session = Session(backend=NativeBackend(
+                engine=Solver(dl_propagation=opts.dl_propagation)))
         else:
             session = Session(backend=opts.backend)
     encoder = Encoder(problem, session, opts.routes, opts.path_cutoff,

@@ -39,6 +39,7 @@ QUICK_SCALES: Dict[str, dict] = {
     "backends": {"n_apps": 3, "routes": 2, "stages": 3},
     "unsat_core": {"routes": 2},
     "portfolio": {"n_apps": 4, "islands": 2},
+    "dl_propagation": {"n_systems": 3, "n_apps": 4, "n_switches": 5},
 }
 
 
@@ -175,8 +176,9 @@ def _bench_portfolio(scale: dict) -> dict:
     (routes-1's veto prunes routes-2) and its infeasible companion
     (routes-2's clauses + veto make the monolithic unsat proof nearly
     free).  The regression surface: every per-strategy and race status,
-    the requirement that sharing strictly reduces summed conflicts at
-    identical outcomes, and the sharing counters themselves.  Worker
+    the requirement that sharing strictly reduces summed search work
+    (conflicts + decisions) at identical outcomes, and the sharing
+    counters themselves.  Worker
     engines tag the per-check statistics stream as ``native[<strategy>]``,
     so the record's ``by_backend`` roll-up attributes time and conflicts
     per *strategy* (closing the per-strategy attribution item).
@@ -189,14 +191,18 @@ def _bench_portfolio(scale: dict) -> dict:
     islands = scale.get("islands", 2)
     sat_problem = workloads.sharing_problem(n_apps=n_apps, islands=islands)
     unsat_problem = workloads.sharing_unsat_problem()
+    # dl_propagation off: it prunes the funnel's doomed subtrees on its
+    # own (see the dl_propagation bench), which would leave the sharing
+    # channel nothing measurable to reduce here.
     sat_strategies = [
-        Strategy("routes-1", SynthesisOptions(routes=1)),
-        Strategy("routes-2", SynthesisOptions(routes=2)),
+        Strategy("routes-1", SynthesisOptions(routes=1, dl_propagation=False)),
+        Strategy("routes-2", SynthesisOptions(routes=2, dl_propagation=False)),
     ]
     unsat_strategies = [
-        Strategy("routes-2", SynthesisOptions(routes=2)),
-        Strategy("routes-1", SynthesisOptions(routes=1)),
-        Strategy("monolithic", SynthesisOptions(routes=None)),
+        Strategy("routes-2", SynthesisOptions(routes=2, dl_propagation=False)),
+        Strategy("routes-1", SynthesisOptions(routes=1, dl_propagation=False)),
+        Strategy("monolithic",
+                 SynthesisOptions(routes=None, dl_propagation=False)),
     ]
 
     statuses: Dict[str, str] = {}
@@ -207,6 +213,7 @@ def _bench_portfolio(scale: dict) -> dict:
         ("unsat", unsat_problem, unsat_strategies),
     ):
         conflicts = {}
+        work = {}
         for share in (False, True):
             res = synthesize_portfolio(problem, strategies, backend="serial",
                                        share_knowledge=share)
@@ -216,6 +223,10 @@ def _bench_portfolio(scale: dict) -> dict:
                 statuses[f"{label}/{mode}/{sr.name}"] = sr.status
             conflicts[share] = sum(
                 sr.statistics.get("conflicts", 0)
+                for sr in res.strategy_results
+            )
+            work[share] = conflicts[share] + sum(
+                sr.statistics.get("decisions", 0)
                 for sr in res.strategy_results
             )
             times[f"{label}/{mode}"] = round(res.total_time, 4)
@@ -232,13 +243,102 @@ def _bench_portfolio(scale: dict) -> dict:
                     sharing[f"{label}_{key}"] = value
         sharing[f"{label}_conflicts_solo"] = conflicts[False]
         sharing[f"{label}_conflicts_shared"] = conflicts[True]
-        statuses[f"{label}/sharing_reduces_conflicts"] = (
-            "yes" if conflicts[True] < conflicts[False] else "NO"
+        sharing[f"{label}_work_solo"] = work[False]
+        sharing[f"{label}_work_shared"] = work[True]
+        # Sharing must strictly reduce summed search work (conflicts +
+        # decisions) at identical statuses; conflicts alone can sit at
+        # the floor on these small funnels now that the theory layer
+        # refutes most of the doomed subtrees by propagation.
+        statuses[f"{label}/sharing_reduces_work"] = (
+            "yes" if work[True] < work[False]
+            and conflicts[True] <= conflicts[False] else "NO"
         )
     return {
         "statuses": statuses,
         "sharing": sharing,
         "solve_times": times,
+        "render_digest": _digest(repr(sorted(statuses.items()))),
+    }
+
+
+def _bench_dl_propagation(scale: dict) -> dict:
+    """Transitive difference-logic propagation on vs off (deterministic).
+
+    Two difference-chain-heavy workload families, each solved with
+    ``dl_propagation`` on and off:
+
+    * the seeded :func:`~repro.eval.workloads.difference_chain_formulas`
+      microworkloads, checked through one session per configuration
+      (models re-certified against every clause);
+    * the line-topology :func:`~repro.eval.workloads.chain_problem` at
+      its satisfiable (9.5 ms) and infeasible (9 ms) periods, run
+      through the full synthesis driver.
+
+    The regression surface: identical statuses per instance, a strict
+    reduction of summed decisions with propagation on, and nonzero
+    ``dl_propagations`` counters (asserted again by CI on the uploaded
+    trajectory).
+    """
+    from fractions import Fraction
+
+    from ..api import Session
+    from ..core import collect_violations
+    from ..core.synthesizer import SynthesisOptions, solve
+    from . import workloads
+
+    n_systems = scale.get("n_systems", 3)
+    n_apps = scale.get("n_apps", 4)
+    n_switches = scale.get("n_switches", 5)
+    statuses: Dict[str, str] = {}
+    decisions = {False: 0, True: 0}
+    counters: Dict[str, int] = {"dl_propagations": 0,
+                                "dl_explanation_lits": 0}
+    certified = True
+
+    for seed in range(n_systems):
+        clauses = workloads.difference_chain_formulas(seed)
+        for dl in (False, True):
+            with Session(dl_propagation=dl) as session:
+                session.add(clauses)
+                out = session.check()
+                mode = "on" if dl else "off"
+                statuses[f"chains{seed}/{mode}"] = out.status.name
+                decisions[dl] += out.statistics.get("decisions", 0)
+                if dl:
+                    for key in counters:
+                        counters[key] += out.statistics.get(key, 0)
+                if out == "sat":
+                    model = out.require_model()
+                    certified &= all(model.eval_bool(c) for c in clauses)
+
+    for label, period in (("sat", Fraction(95, 10000)),
+                          ("unsat", Fraction(9, 1000))):
+        problem = workloads.chain_problem(n_apps=n_apps,
+                                          n_switches=n_switches,
+                                          period=period)
+        for dl in (False, True):
+            result = solve(problem, SynthesisOptions(dl_propagation=dl))
+            mode = "on" if dl else "off"
+            statuses[f"line_{label}/{mode}"] = result.status
+            decisions[dl] += result.statistics.get("decisions", 0)
+            if dl:
+                for key in counters:
+                    counters[key] += result.statistics.get(key, 0)
+            if result.status == "sat":
+                certified &= collect_violations(result.solution) == []
+
+    counters["decisions_off"] = decisions[False]
+    counters["decisions_on"] = decisions[True]
+    statuses["decisions_reduced"] = (
+        "yes" if decisions[True] < decisions[False] else "NO"
+    )
+    statuses["dl_propagations_nonzero"] = (
+        "yes" if counters["dl_propagations"] > 0 else "NO"
+    )
+    return {
+        "statuses": statuses,
+        "dl_counters": counters,
+        "certified": certified,
         "render_digest": _digest(repr(sorted(statuses.items()))),
     }
 
@@ -250,6 +350,7 @@ _RUNNERS: Dict[str, Callable[[dict], dict]] = {
     "backends": _bench_backends,
     "unsat_core": _bench_unsat_core,
     "portfolio": _bench_portfolio,
+    "dl_propagation": _bench_dl_propagation,
 }
 
 

@@ -22,10 +22,14 @@ The theory backend protocol (all methods optional, see
 * ``propagate(assigns)`` — called when Boolean and theory propagation are
   at fixpoint with no conflict; returns *implied literals* — unassigned
   atoms entailed by the current theory state — each paired with the
-  asserted literals that entail it.  The solver assigns them instead of
-  branching (the theory-propagation step of DPLL(T)); the explanation is
-  materialized into a reason clause only if conflict analysis ever
-  resolves on the implication.
+  asserted literals that entail it.  Explanations are arbitrary-arity
+  (a simplex bound implication ships one literal, a difference-logic
+  path implication ships the whole path); conflict analysis and
+  final-conflict (unsat core) analysis resolve through either.  The
+  solver assigns implied literals instead of branching (the
+  theory-propagation step of DPLL(T)); the explanation is materialized
+  into a reason clause only if conflict analysis ever resolves on the
+  implication.
 """
 
 from __future__ import annotations
@@ -87,7 +91,10 @@ class _TheoryReason:
     Duck-types the parts of :class:`_Clause` that conflict analysis uses
     (``lits``, ``learnt``, ``activity``).  ``lits`` is built on first
     access: ``[implied, -e1, -e2, ...]`` — a clause that is valid by theory
-    reasoning and asserting under the trail that produced it.
+    reasoning and asserting under the trail that produced it.  The
+    explanation may have any arity: difference-logic path implications
+    carry every asserted literal of the deriving path, and both 1-UIP
+    and final-conflict analysis expand such reasons like any clause.
     """
 
     __slots__ = ("_implied", "_explain", "_lits", "learnt", "activity")

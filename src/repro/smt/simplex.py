@@ -68,8 +68,13 @@ class Simplex:
         self._rows: List[Optional[Dict[int, Fraction]]] = []
         # For nonbasic variables: set of basic variables whose row uses them.
         self._cols: List[Set[int]] = []
-        # Bound-change trail: (var, is_lower, old_bound, old_lit)
-        self._trail: List[Tuple[int, bool, Optional[DeltaRational], int]] = []
+        # Bound-change trail: (var, is_lower, old_bound, old_lit, touched)
+        # where ``touched`` records that this assertion added ``var`` to
+        # ``touched_bounds`` — undo then removes it again, so a backjump
+        # never leaves stale entries for the propagation layer to rescan.
+        self._trail: List[
+            Tuple[int, bool, Optional[DeltaRational], int, bool]
+        ] = []
         # Nonbasic variables whose beta may violate a freshly tightened
         # bound; repaired lazily at the start of check().
         self._dirty: Set[int] = set()
@@ -163,7 +168,12 @@ class Simplex:
     def undo_to(self, mark: int) -> None:
         mirror = self._float_prefilter
         while len(self._trail) > mark:
-            var, is_lower, old_bound, old_lit = self._trail.pop()
+            var, is_lower, old_bound, old_lit, touched = self._trail.pop()
+            if touched:
+                # This assertion was the one that marked ``var`` touched:
+                # un-mark it, so the next propagate() fixpoint does not
+                # rescan watches against the now-relaxed bound.
+                self.touched_bounds.discard(var)
             if is_lower:
                 self._lower[var] = old_bound
                 self._lower_lit[var] = old_lit
@@ -189,13 +199,18 @@ class Simplex:
         if upper is not None and bound > upper:
             return self._pair_conflict(lit, self._upper_lit[var])
         current = self._lower[var]
-        self._trail.append((var, True, current, self._lower_lit[var]))
-        if current is None or bound > current:
+        tightens = current is None or bound > current
+        fresh_touch = (tightens and self._watched[var]
+                       and var not in self.touched_bounds)
+        self._trail.append(
+            (var, True, current, self._lower_lit[var], fresh_touch)
+        )
+        if tightens:
             self._lower[var] = bound
             self._lower_lit[var] = lit
             if self._float_prefilter:
                 self._lower_f[var] = float(bound.real)
-            if self._watched[var]:
+            if fresh_touch:
                 self.touched_bounds.add(var)
             if self._is_basic[var]:
                 self._add_suspect(var)
@@ -209,13 +224,18 @@ class Simplex:
         if lower is not None and bound < lower:
             return self._pair_conflict(lit, self._lower_lit[var])
         current = self._upper[var]
-        self._trail.append((var, False, current, self._upper_lit[var]))
-        if current is None or bound < current:
+        tightens = current is None or bound < current
+        fresh_touch = (tightens and self._watched[var]
+                       and var not in self.touched_bounds)
+        self._trail.append(
+            (var, False, current, self._upper_lit[var], fresh_touch)
+        )
+        if tightens:
             self._upper[var] = bound
             self._upper_lit[var] = lit
             if self._float_prefilter:
                 self._upper_f[var] = float(bound.real)
-            if self._watched[var]:
+            if fresh_touch:
                 self.touched_bounds.add(var)
             if self._is_basic[var]:
                 self._add_suspect(var)

@@ -75,6 +75,8 @@ _CHECK_STAT_KEYS = (
     "decisions",
     "propagations",
     "theory_propagations",
+    "dl_propagations",
+    "dl_explanation_lits",
     "restarts",
 )
 
@@ -205,8 +207,14 @@ class SolverEngine:
     ``theory_propagation`` (default on) lets the theory assign implied
     atoms instead of branching on them — the ``theory_propagations``
     statistic counts them; turn it off to A/B the search behaviour (the
-    equivalence tests do).  ``float_prefilter`` answers clear-cut simplex
-    bound comparisons in floating point, falling back to exact rational
+    equivalence tests do).  ``dl_propagation`` (default on, subordinate
+    to ``theory_propagation``) additionally derives implications through
+    *chains* of difference constraints (Cotton & Maler's SSSP pass over
+    the difference-logic graph) with multi-literal path explanations —
+    counted by ``dl_propagations`` / ``dl_explanation_lits``;
+    ``dl_effort`` caps the per-edge shortest-path work (heap pops per
+    direction).  ``float_prefilter`` answers clear-cut simplex bound
+    comparisons in floating point, falling back to exact rational
     arithmetic on near-ties (opt-in; exact is the default).
 
     ``backend_name`` tags this engine's entries in the global per-check
@@ -218,9 +226,13 @@ class SolverEngine:
     backend_name = "native"
 
     def __init__(self, theory_propagation: bool = True,
-                 float_prefilter: bool = False) -> None:
+                 float_prefilter: bool = False,
+                 dl_propagation: bool = True,
+                 dl_effort: Optional[int] = None) -> None:
         self._theory = LraTheory(propagation=theory_propagation,
-                                 float_prefilter=float_prefilter)
+                                 float_prefilter=float_prefilter,
+                                 dl_propagation=dl_propagation,
+                                 dl_effort=dl_effort)
         self._sat = SatSolver(self._theory)
         self._cnf = CnfConverter(self._sat, self._theory)
         self._assertions: list[BoolExpr] = []
@@ -247,6 +259,8 @@ class SolverEngine:
     def statistics(self) -> dict:
         stats = self._sat.statistics
         stats["clauses_imported"] = self._clauses_imported
+        stats["dl_propagations"] = self._theory.dl_propagations
+        stats["dl_explanation_lits"] = self._theory.dl_explanation_lits
         return stats
 
     @property
@@ -323,9 +337,9 @@ class SolverEngine:
         by_lit: Dict[int, BoolExpr] = {}
         self._collect_assumptions(assumptions, by_lit)
         lits = scope_lits + list(by_lit)
-        before = self._sat.statistics
+        before = self.statistics
         solved = self._sat.solve(lits)
-        after = self._sat.statistics
+        after = self.statistics
         self._last_check_stats = {
             key: after.get(key, 0) - before.get(key, 0)
             for key in _CHECK_STAT_KEYS

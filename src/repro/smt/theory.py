@@ -18,15 +18,21 @@ Atom lifecycle:
    constraints) additionally triggers a full simplex check because such
    atoms interact with difference chains in ways the DL engine cannot see.
 3. When propagation reaches fixpoint without conflict, the SAT core calls
-   :meth:`propagate`: every simplex variable whose bound was tightened is
+   :meth:`propagate`, which merges two implication sources.  *Bound
+   propagation*: every simplex variable whose bound was tightened is
    scanned for registered atoms that the new bound *entails* (asserting
    ``s <= 5`` entails the unassigned atom ``s <= 7``, and refutes
-   ``s >= 6``).  Implied literals ship with a lazy one-literal explanation
-   (the bound's asserting literal), so the SAT core assigns them instead
-   of branching — the theory-propagation step of Dutertre & de Moura's
-   DPLL(T) design.  Propagations lost to backjumping are *not* replayed
-   (they re-arise through search); this keeps the hook allocation-free on
-   the no-change path.
+   ``s >= 6``), shipping a lazy one-literal explanation (the bound's
+   asserting literal).  *Transitive DL propagation* (Cotton & Maler
+   2006): the difference-logic engine derives path bounds through
+   freshly asserted edges, and a node-pair atom index maps each derived
+   bound to the difference atoms it entails or refutes — these ship the
+   deriving path's asserted literals as a lazy *multi-literal*
+   explanation.  Either way the SAT core assigns implied literals
+   instead of branching — the theory-propagation step of Dutertre & de
+   Moura's DPLL(T) design.  Propagations lost to backjumping are *not*
+   replayed (they re-arise through search); this keeps the hook
+   allocation-free on the no-change path.
 4. At a full propositional assignment, :meth:`final_check` runs the exact
    simplex over everything, certifying the model; the concrete rational
    model is snapshotted there (before the SAT core backtracks).
@@ -90,10 +96,19 @@ class LraTheory(TheoryBackend):
     """Combined difference-logic + simplex theory with trail alignment."""
 
     def __init__(self, propagation: bool = True,
-                 float_prefilter: bool = False) -> None:
-        self.dl = DifferenceLogic()
-        self.simplex = Simplex(float_prefilter=float_prefilter)
+                 float_prefilter: bool = False,
+                 dl_propagation: bool = True,
+                 dl_effort: Optional[int] = None) -> None:
+        # Transitive difference-logic propagation rides on theory
+        # propagation (implications flow through the same hook), so it is
+        # active only when both flags are on.
         self.propagation = propagation
+        self.dl_propagation = propagation and dl_propagation
+        dl_kwargs = {"propagation": self.dl_propagation}
+        if dl_effort is not None:
+            dl_kwargs["effort_cap"] = dl_effort
+        self.dl = DifferenceLogic(**dl_kwargs)
+        self.simplex = Simplex(float_prefilter=float_prefilter)
         self._real_to_sx: Dict[RealVar, int] = {}
         self._real_to_dl: Dict[RealVar, int] = {}
         self._slack_cache: Dict[Tuple, int] = {}
@@ -101,9 +116,25 @@ class LraTheory(TheoryBackend):
         self._atoms: Dict[int, Tuple[_PhaseAction, _PhaseAction, bool]] = {}
         # Simplex var -> atoms whose phases are bounds on that var.
         self._watches: Dict[int, List[_AtomWatch]] = {}
+        # Node-pair atom index for transitive DL propagation: a phase with
+        # DL edge (x, y, B) means "val(x) - val(y) <= B", so a derived
+        # path bound W on the pair (y, x) entails the phase iff W <= B.
+        # Key: (path source, path target) -> [(sat_var, phase_lit, B)].
+        self._dl_watches: Dict[Tuple[int, int],
+                               List[Tuple[int, int, DeltaRational]]] = {}
+        # Scaled mirror of _dl_watches (thresholds in the DL engine's
+        # integer scale, so the propagation loop compares machine ints);
+        # rebuilt lazily whenever the engine rescales or atoms register.
+        self._dl_scaled: Dict[Tuple[int, int],
+                              List[Tuple[int, int, int, int]]] = {}
+        self._dl_scaled_scale = 0
         # Undo marks, parallel to the SAT trail.
         self._marks: List[Tuple[int, int]] = []
         self._model_reals: Optional[Dict[RealVar, Fraction]] = None
+        #: Literals implied through transitive DL propagation, and the
+        #: total path-explanation literals shipped with them.
+        self.dl_propagations = 0
+        self.dl_explanation_lits = 0
 
     # ------------------------------------------------------------------
     # Variable / atom registration (encoding time)
@@ -187,6 +218,18 @@ class LraTheory(TheoryBackend):
             _AtomWatch(sat_var, pos, neg)
         )
         self.simplex.watch_var(pos.sx_var)
+        if is_difference and self.dl_propagation:
+            # Index both phases for transitive DL propagation: the phase
+            # with DL edge (x, y, B) is entailed by any derived bound
+            # W <= B on the path pair (y, x).  Skipped entirely when the
+            # channel is off, so the A/B baseline pays nothing.
+            for lit, action in ((2 * sat_var, pos), (2 * sat_var + 1, neg)):
+                x, y, bound = action.dl_edge
+                self._dl_watches.setdefault((y, x), []).append(
+                    (sat_var, lit, bound)
+                )
+                self.dl.watch_pair(y, x, bound)
+            self._dl_scaled_scale = 0  # invalidate the scaled mirror
 
     def _slack_for(self, coeffs: Tuple[Tuple[RealVar, Fraction], ...]) -> Tuple[int, bool]:
         """Canonical slack variable for a coefficient vector.
@@ -241,27 +284,55 @@ class LraTheory(TheoryBackend):
             del self._marks[n_kept:]
 
     def propagate(self, assigns) -> List[TheoryImplication]:
-        """Unassigned atoms entailed by freshly tightened simplex bounds.
+        """Unassigned atoms entailed by the freshly changed theory state.
 
-        For a watch on variable ``s`` with positive phase ``s <= B`` (and
-        negative phase ``s >= NB``): an upper bound ``U <= B`` entails the
-        positive literal, a lower bound ``L >= NB`` entails the negative
-        one (symmetrically for lower-sense positive phases).  Explanations
-        are single bound literals, delivered lazily.  Atoms already
-        assigned are skipped via ``assigns`` before any comparison or
-        allocation — a false-assigned atom whose opposite phase becomes
-        entailed cannot reach this hook, because both phases bound the
-        same canonical simplex variable and the bound pair conflicts
-        inside ``on_assert`` first.
+        Two implication sources are merged:
+
+        * **Transitive difference chains** (``dl_propagation``): the DL
+          engine's :meth:`~repro.smt.difflogic.DifferenceLogic.implied_bounds`
+          derives path bounds through freshly asserted edges; any watched
+          node pair whose derived bound ``W`` is at most a registered
+          phase's bound entails that phase.  Explanations are the
+          asserted literals of the deriving path — *multi-literal*
+          reasons, materialized lazily by the SAT core.
+        * **Simplex bound tightenings**: for a watch on variable ``s``
+          with positive phase ``s <= B`` (and negative phase ``s >= NB``),
+          an upper bound ``U <= B`` entails the positive literal, a lower
+          bound ``L >= NB`` entails the negative one (symmetrically for
+          lower-sense positive phases).  Explanations are single bound
+          literals.
+
+        Atoms already assigned are skipped via ``assigns`` before any
+        comparison or allocation — a false-assigned atom whose opposite
+        phase becomes entailed cannot reach this hook, because both
+        phases bound the same canonical simplex variable and the bound
+        pair conflicts inside ``on_assert`` first.
         """
+        out: List[TheoryImplication] = []
+        unassigned = _UNASSIGNED
+        if self.dl_propagation:
+            entries = self.dl.implied_bounds()
+            if entries:
+                dl_watches = self._scaled_dl_watches()
+                for entry in entries:
+                    watches = dl_watches.get((entry.src, entry.dst))
+                    if not watches:
+                        continue
+                    wr, wd = entry.wr, entry.wd
+                    for sat_var, lit, tr, td in watches:
+                        if assigns[sat_var] != unassigned:
+                            continue
+                        if wr < tr or (wr == tr and wd <= td):
+                            path_lits = entry.path_lits()
+                            out.append((lit, path_lits))
+                            self.dl_propagations += 1
+                            self.dl_explanation_lits += len(path_lits)
         touched = self.simplex.touched_bounds
         if not self.propagation or not touched:
             if touched:
                 touched.clear()
-            return []
-        out: List[TheoryImplication] = []
+            return out
         sx = self.simplex
-        unassigned = _UNASSIGNED
         for var in touched:
             watches = self._watches.get(var)
             if not watches:
@@ -287,6 +358,32 @@ class LraTheory(TheoryBackend):
                         out.append((w.neg_lit, (up_lit,)))
         touched.clear()
         return out
+
+    def _scaled_dl_watches(self) -> Dict[Tuple[int, int],
+                                         List[Tuple[int, int, int, int]]]:
+        """The DL atom index with thresholds in the engine's scale.
+
+        Rebuilt only when the DL engine rescaled or new atoms registered
+        since the last build — both rare — so the propagation loop runs
+        on plain machine-integer comparisons.
+        """
+        scale = self.dl.scale
+        if self._dl_scaled_scale != scale:
+            self._dl_scaled = {
+                key: [
+                    (sat_var, lit) + self.dl.scaled_bound(bound)
+                    for sat_var, lit, bound in watches
+                ]
+                for key, watches in self._dl_watches.items()
+            }
+            # Every bound here was folded into the engine scale when it
+            # was registered (watch_pair), and rescaling only multiplies
+            # the scale, so the conversions above can never rescale
+            # mid-rebuild: all entries — and the ImpliedBound weights
+            # they are compared against — share one scale.
+            assert self.dl.scale == scale, "rescale during watch rebuild"
+            self._dl_scaled_scale = scale
+        return self._dl_scaled
 
     def final_check(self) -> Optional[List[int]]:
         conflict = self.simplex.check()

@@ -46,9 +46,9 @@ def make_problem(n_apps=2, period_ms=5):
 class CountingSolver(Solver):
     instances = 0
 
-    def __init__(self):
+    def __init__(self, *args, **kwargs):
         type(self).instances += 1
-        super().__init__()
+        super().__init__(*args, **kwargs)
 
 
 @pytest.fixture

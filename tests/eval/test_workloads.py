@@ -5,6 +5,7 @@ from fractions import Fraction
 import pytest
 
 from repro.core import SynthesisOptions, synthesize, validate_solution
+from repro.eval import workloads
 from repro.eval import (
     TABLE1_ROWS,
     experiment_network,
@@ -95,3 +96,41 @@ class TestGmCaseStudy:
         res = synthesize(prob, SynthesisOptions(routes=3, stages=2))
         assert res.ok
         validate_solution(res.solution)
+
+
+class TestDifferenceChainWorkloads:
+    def test_chain_formulas_deterministic(self):
+        a = workloads.difference_chain_formulas(3)
+        b = workloads.difference_chain_formulas(3)
+        assert [repr(c) for c in a] == [repr(c) for c in b]
+        assert a  # non-empty
+
+    def test_chain_formulas_seeds_differ(self):
+        a = workloads.difference_chain_formulas(1)
+        b = workloads.difference_chain_formulas(2)
+        assert [repr(c) for c in a] != [repr(c) for c in b]
+
+    def test_chain_network_shape(self):
+        net = workloads.chain_network(3, 5)
+        assert len(net.sensors) == 3 and len(net.controllers) == 3
+        assert sorted(net.switches) == [f"A{k}" for k in range(5)]
+
+    def test_chain_problem_single_route(self):
+        from repro.network.paths import all_simple_paths
+
+        problem = workloads.chain_problem()
+        # The line topology admits exactly one route per application.
+        for app in problem.apps:
+            routes = all_simple_paths(problem.network, app.sensor,
+                                      app.controller)
+            assert len(list(routes)) == 1
+
+    def test_chain_problem_statuses(self):
+        from fractions import Fraction
+
+        from repro.core.synthesizer import SynthesisOptions, solve
+
+        assert solve(workloads.chain_problem(),
+                     SynthesisOptions()).status == "sat"
+        assert solve(workloads.chain_problem(period=Fraction(9, 1000)),
+                     SynthesisOptions()).status == "unsat"

@@ -169,3 +169,104 @@ def test_matches_bellman_ford_oracle(case):
             diff = sol[nodes[x]] - sol[nodes[y]]
             limit = DeltaRational(b, -1 if s else 0)
             assert diff <= limit
+
+
+# ---------------------------------------------------------------------------
+# Weaker/equal re-assertion round-trips (trail-alignment regression)
+# ---------------------------------------------------------------------------
+
+
+def _semantic_state(dl):
+    """Engine state normalized out of the integer scale: active edges as
+    exact (weight, lit) per node pair, plus the potential."""
+    scale = dl._scale
+    edges = {}
+    for u, targets in enumerate(dl._out):
+        for v, e in targets.items():
+            edges[(u, v)] = (Fraction(e.wr, scale), Fraction(e.wd, scale),
+                             e.lit)
+    pi = [(Fraction(r, scale), Fraction(d, scale))
+          for r, d in zip(dl._pi_r, dl._pi_d)]
+    return edges, pi
+
+
+@st.composite
+def reassert_cases(draw):
+    n = draw(st.integers(min_value=2, max_value=5))
+    m = draw(st.integers(min_value=1, max_value=8))
+    cons = []
+    for _ in range(m):
+        x = draw(st.integers(min_value=0, max_value=n - 1))
+        y = draw(st.integers(min_value=0, max_value=n - 1))
+        if x == y:
+            continue
+        cons.append((x, y, draw(st.integers(min_value=-4, max_value=4)),
+                     draw(st.booleans())))
+    # Slack added to an existing edge's bound: 0 = equal re-assertion;
+    # denominators 3/5/7 force an engine-wide rescale on the no-op path.
+    slacks = draw(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=10),
+                  st.sampled_from([1, 2, 3, 5, 7]),
+                  st.booleans()),
+        min_size=1, max_size=5,
+    ))
+    return n, cons, slacks
+
+
+@given(reassert_cases())
+@settings(max_examples=150, deadline=None)
+def test_weaker_or_equal_reassert_roundtrips_exactly(case):
+    """Equal/weaker re-assertion appends a no-op trail entry; undoing it
+    (even across an interleaved rescale) must reproduce the engine state
+    exactly — same active edges, literals, and potential."""
+    n, cons, slacks = case
+    dl = DifferenceLogic()
+    nodes = [dl.new_node() for _ in range(n)]
+    for i, (x, y, b, s) in enumerate(cons):
+        bound = DeltaRational(b, -1 if s else 0)
+        if dl.assert_constraint(nodes[x], nodes[y], bound,
+                                lit=2 * (i + 1)) is not None:
+            return  # infeasible prefix: nothing to round-trip
+    active = sorted(
+        (u, v) for u, targets in enumerate(dl._out) for v in targets
+    )
+    if not active:
+        return
+    before = _semantic_state(dl)
+    mark = dl.mark()
+    for k, (num, den, weaker_delta) in enumerate(slacks):
+        u, v = active[k % len(active)]
+        e = dl._out[u][v]
+        scale = dl._scale
+        wr = Fraction(e.wr, scale) + Fraction(num, den)
+        wd = Fraction(e.wd, scale) + (1 if weaker_delta else 0)
+        # Weaker than (or equal to) the active edge: must be a no-op.
+        assert dl.assert_constraint(
+            v, u, DeltaRational(wr, wd), lit=1000 + 2 * k
+        ) is None
+        assert dl._out[u][v] is e, "weaker re-assert must not replace the edge"
+    assert len(dl._trail) == mark + len(slacks)  # one entry per assert
+    dl.undo_to(mark)
+    assert _semantic_state(dl) == before
+    assert dl.check_feasible_assignment()
+
+
+def test_equal_reassert_across_rescale_roundtrips():
+    """Directed case: equal re-assert, then a rescale from an unrelated
+    fractional bound, then undo — the parked trail edge must have been
+    rescaled exactly once."""
+    dl = DifferenceLogic()
+    a, b, c = dl.new_node(), dl.new_node(), dl.new_node()
+    assert dl.assert_constraint(a, b, DeltaRational(5), lit=2) is None
+    before = _semantic_state(dl)
+    mark = dl.mark()
+    # Equal re-assertion: parked on the trail, graph unchanged.
+    assert dl.assert_constraint(a, b, DeltaRational(5), lit=4) is None
+    # Unrelated third-denominator bound forces an engine-wide rescale
+    # while the no-op entry sits on the trail.
+    assert dl.assert_constraint(
+        b, c, DeltaRational(Fraction(1, 3)), lit=6
+    ) is None
+    dl.undo_to(mark)
+    assert _semantic_state(dl) == before
+    assert dl.check_feasible_assignment()

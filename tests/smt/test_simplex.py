@@ -200,3 +200,77 @@ def test_feasibility_matches_scipy_linprog(problem):
         for coeffs, rhs in rows:
             total = sum(Fraction(c) * model[xs[j]] for j, c in enumerate(coeffs))
             assert total <= rhs
+
+
+class TestTouchedBoundsHygiene:
+    """Backjump hygiene of the propagation feed (regression: undone
+    assertions used to leave their vars in ``touched_bounds``, so the
+    next propagate() fixpoint rescanned watches against already-relaxed
+    — possibly ``NO_LIT``-backed — bounds)."""
+
+    def test_undo_removes_fresh_touch(self):
+        sx = Simplex()
+        v = sx.new_var()
+        sx.watch_var(v)
+        mark = sx.mark()
+        assert sx.assert_upper(v, dr(5), lit=2) is None
+        assert v in sx.touched_bounds
+        sx.undo_to(mark)
+        assert v not in sx.touched_bounds
+
+    def test_undo_keeps_older_undrained_touch(self):
+        sx = Simplex()
+        v = sx.new_var()
+        sx.watch_var(v)
+        assert sx.assert_upper(v, dr(5), lit=2) is None  # touches v
+        mark = sx.mark()
+        assert sx.assert_upper(v, dr(3), lit=4) is None  # v already touched
+        sx.undo_to(mark)
+        # The pre-mark tightening has not been drained yet: it must
+        # still be visible to the propagation layer.
+        assert v in sx.touched_bounds
+
+    def test_undo_after_drain_roundtrips_to_empty(self):
+        sx = Simplex()
+        v = sx.new_var()
+        sx.watch_var(v)
+        assert sx.assert_upper(v, dr(5), lit=2) is None
+        sx.touched_bounds.clear()  # the propagate() drain
+        mark = sx.mark()
+        assert sx.assert_upper(v, dr(3), lit=4) is None
+        assert v in sx.touched_bounds
+        sx.undo_to(mark)
+        assert sx.touched_bounds == set()
+
+    def test_non_tightening_assert_never_pollutes_on_undo(self):
+        sx = Simplex()
+        v = sx.new_var()
+        sx.watch_var(v)
+        assert sx.assert_upper(v, dr(3), lit=2) is None
+        sx.touched_bounds.clear()
+        mark = sx.mark()
+        # Weaker than the active bound: recorded on the trail but not a
+        # tightening — undo must not disturb the (empty) touched set.
+        assert sx.assert_upper(v, dr(10), lit=4) is None
+        assert sx.touched_bounds == set()
+        sx.undo_to(mark)
+        assert sx.touched_bounds == set()
+
+    def test_backjump_then_propagate_sees_no_stale_bounds(self):
+        """Theory-level regression: after a backjump the propagation
+        hook must find a clean touched set (previously it rescanned the
+        undone vars against relaxed bounds)."""
+        from repro.sat.literals import UNASSIGNED
+        from repro.smt.terms import Real
+        from repro.smt.theory import LraTheory
+
+        x = Real("touched_regression_x")
+        theory = LraTheory()
+        theory.register_atom(x <= 5, sat_var=1)
+        theory.register_atom(x <= 7, sat_var=2)
+        assert theory.on_assert(2 * 1) is None  # assert x <= 5
+        assert theory.simplex.touched_bounds != set()
+        theory.on_backjump(0)
+        assert theory.simplex.touched_bounds == set()
+        assigns = [UNASSIGNED] * 3
+        assert theory.propagate(assigns) == []
