@@ -1,0 +1,68 @@
+"""SAT-core throughput microbench: flat arena vs the frozen reference.
+
+Reproduces the table in docs/perf.md ("The flat-arena SAT core"): both
+solvers refute PHP(n+1, n) — pure SAT, ~3,200 conflicts at the default
+size, restarts and learnt-DB churn included — and report wall time and
+propagations/second.  The trajectories must be identical (same layout-
+independent search), so the ratio isolates the clause-store layout.
+
+Usage:
+    PYTHONPATH=src python benchmarks/sat_throughput.py [n_holes] [rounds]
+"""
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro.sat.literals import lit  # noqa: E402
+from repro.sat.solver import SatSolver  # noqa: E402
+from tests.sat.reference_solver import SatSolver as ReferenceSolver  # noqa: E402
+
+
+def _pigeonhole(solver, n_pigeons, n_holes):
+    var = [[solver.new_var() for _ in range(n_holes)]
+           for _ in range(n_pigeons)]
+    for p in range(n_pigeons):
+        solver.add_clause([lit(var[p][h], True) for h in range(n_holes)])
+    for h in range(n_holes):
+        for p1 in range(n_pigeons):
+            for p2 in range(p1 + 1, n_pigeons):
+                solver.add_clause([lit(var[p1][h], False),
+                                   lit(var[p2][h], False)])
+
+
+def run_one(cls, n_holes):
+    s = cls()
+    _pigeonhole(s, n_holes + 1, n_holes)
+    start = time.perf_counter()
+    verdict = s.solve()
+    wall = time.perf_counter() - start
+    assert verdict is False, "PHP(n+1, n) must be unsat"
+    return wall, s.statistics
+
+
+def main():
+    n_holes = int(sys.argv[1]) if len(sys.argv) > 1 else 7
+    rounds = int(sys.argv[2]) if len(sys.argv) > 2 else 2
+    contenders = (("arena", SatSolver), ("reference", ReferenceSolver))
+    trajectories = set()
+    # Interleave rounds so machine-speed drift hits both solvers alike.
+    for r in range(rounds):
+        for name, cls in contenders:
+            wall, stats = run_one(cls, n_holes)
+            trajectories.add((stats["conflicts"], stats["decisions"],
+                              stats["propagations"], stats["restarts"]))
+            print(f"[round {r + 1}] {name:<9}  {wall:6.3f}s  "
+                  f"{stats['propagations'] / wall:>9,.0f} props/s  "
+                  f"(conflicts={stats['conflicts']}, "
+                  f"restarts={stats['restarts']})")
+    assert len(trajectories) == 1, (
+        f"solvers walked different search trees: {trajectories}"
+    )
+    print("trajectories identical across solvers and rounds")
+
+
+if __name__ == "__main__":
+    main()

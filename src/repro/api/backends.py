@@ -87,12 +87,16 @@ class NativeBackend:
                  float_prefilter: bool = False,
                  dl_propagation: bool = True,
                  dl_effort: Optional[int] = None,
+                 on_restart=None,
+                 max_conflicts: Optional[int] = None,
                  engine: Optional[SolverEngine] = None) -> None:
         self._engine = engine if engine is not None else SolverEngine(
             theory_propagation=theory_propagation,
             float_prefilter=float_prefilter,
             dl_propagation=dl_propagation,
-            dl_effort=dl_effort)
+            dl_effort=dl_effort,
+            on_restart=on_restart,
+            max_conflicts=max_conflicts)
         self._engine.backend_name = self.name
 
     @property
@@ -119,7 +123,8 @@ class NativeBackend:
         if status == sat:
             return BackendAnswer(status, self._engine.model(), stats)
         core: Optional[List[BoolExpr]] = None
-        if assumptions:
+        # unknown (budget/interrupt abort) has no core to extract.
+        if assumptions and status == unsat:
             before = self._engine.core_minimization_checks
             core = self._engine.unsat_core(minimize=minimize_core)
             stats["core_minimization_checks"] = (

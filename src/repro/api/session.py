@@ -62,8 +62,13 @@ class Session:
         minimize_cores: deletion-minimize unsat cores (default on; turn
             off to get the cheaper raw final-conflict core).
         **backend_options: forwarded to the backend factory when
-            ``backend`` is a name (e.g. ``theory_propagation=False`` for
-            native, ``dump_dir=...`` for serialization).
+            ``backend`` is a name (e.g. ``theory_propagation=False``,
+            ``max_conflicts=10_000`` or ``on_restart=callback`` for
+            native, ``dump_dir=...`` for serialization).  With the
+            native backend, ``on_restart`` fires with the engine at
+            every SAT restart inside a check — the mid-check
+            knowledge-export hook — and ``max_conflicts`` bounds each
+            check's conflicts, answering ``unknown`` on exhaustion.
     """
 
     def __init__(self, backend: Union[str, SolverBackend] = "native", *,

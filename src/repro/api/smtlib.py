@@ -199,12 +199,12 @@ def to_dimacs(assertions: Sequence[BoolExpr]) -> str:
     for expr in assertions:
         cnf.assert_formula(expr)
     clauses: List[List[int]] = [
-        [lit_to_dimacs(l) for l in clause.lits]
-        for clause in sat_core._clauses
+        [lit_to_dimacs(l) for l in clause_lits]
+        for clause_lits in sat_core.clause_literals()
     ]
     # Root-level units (asserted directly) live on the trail, not in the
-    # clause list; a root conflict is an empty clause.
-    for l in sat_core._trail:
+    # clause arena; a root conflict is an empty clause.
+    for l in sat_core.root_literals():
         clauses.append([lit_to_dimacs(l)])
     if not sat_core._ok:
         clauses.append([])

@@ -94,6 +94,10 @@ class SynthesisOptions:
             unsat cores to unfreeze/re-solve when a stage fails (may
             solve instances the plain heuristic cannot).
         max_repair_rounds: cap on unfreeze/re-solve iterations per stage.
+        max_conflicts: conflict budget per native-engine check; an
+            exhausted check answers ``unknown`` deterministically (after
+            a final mid-check export flush), which portfolio races use
+            to bound a worker without losing its learned knowledge.
         seed_knowledge: a :class:`repro.portfolio.sharing.SeedKnowledge`
             bundle from a portfolio race's shared pool — learned clauses,
             route vetoes and stage prefixes from sibling strategies are
@@ -111,6 +115,7 @@ class SynthesisOptions:
     probe_routes: bool = True
     repair: bool = False
     max_repair_rounds: int = 3
+    max_conflicts: Optional[int] = None
     seed_knowledge: Optional["SeedKnowledge"] = None  # noqa: F821
 
     def __post_init__(self) -> None:
@@ -122,6 +127,8 @@ class SynthesisOptions:
             raise EncodingError("stages must be >= 1")
         if self.max_repair_rounds < 0:
             raise EncodingError("max_repair_rounds must be >= 0")
+        if self.max_conflicts is not None and self.max_conflicts < 1:
+            raise EncodingError("max_conflicts must be >= 1 (or None)")
 
 
 @dataclass
@@ -268,7 +275,8 @@ def solve(
             # The module-level ``Solver`` name is the engine factory the
             # one-engine-per-run contract tests patch.
             session = Session(backend=NativeBackend(
-                engine=Solver(dl_propagation=opts.dl_propagation)))
+                engine=Solver(dl_propagation=opts.dl_propagation,
+                              max_conflicts=opts.max_conflicts)))
         else:
             session = Session(backend=opts.backend)
     encoder = Encoder(problem, session, opts.routes, opts.path_cutoff,

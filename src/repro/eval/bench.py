@@ -38,7 +38,7 @@ QUICK_SCALES: Dict[str, dict] = {
     "fig4": {"n_problems": 2, "stages_list": (3, 5), "routes": 3, "n_apps": 5},
     "backends": {"n_apps": 3, "routes": 2, "stages": 3},
     "unsat_core": {"routes": 2},
-    "portfolio": {"n_apps": 4, "islands": 2},
+    "portfolio": {"n_apps": 4, "islands": 2, "midcheck_apps": 4},
     "dl_propagation": {"n_systems": 3, "n_apps": 4, "n_switches": 5},
 }
 
@@ -182,6 +182,16 @@ def _bench_portfolio(scale: dict) -> dict:
     engines tag the per-check statistics stream as ``native[<strategy>]``,
     so the record's ``by_backend`` roll-up attributes time and conflicts
     per *strategy* (closing the per-strategy attribution item).
+
+    A third race exercises the *mid-check* export path: a monolithic
+    worker on the hard mesh case study, budgeted to ``max_conflicts=150``,
+    aborts ``unknown`` inside its first long check — but its ``on_restart``
+    hook has already streamed learned clauses (tagged ``origin:
+    mid-check``) into the pool at each restart and at the abort itself.
+    ``routes-1`` then races to ``sat`` seeded with them.  The regression
+    surface adds: the monolithic worker's ``unknown`` (never a race
+    verdict), a nonzero ``midcheck_clauses_pooled`` pool counter, and at
+    least one clause actually *imported* by the seeded winner.
     """
     from ..core.synthesizer import SynthesisOptions
     from ..portfolio import Strategy, synthesize_portfolio
@@ -253,6 +263,33 @@ def _bench_portfolio(scale: dict) -> dict:
             "yes" if work[True] < work[False]
             and conflicts[True] <= conflicts[False] else "NO"
         )
+
+    # Mid-check export race: the monolithic worker is budget-killed
+    # inside one check; its restart-boundary exports must still reach
+    # (and measurably seed) the routes-1 winner.
+    midcheck_problem = workloads.gm_case_study(
+        n_apps=scale.get("midcheck_apps", 4))
+    midcheck_strategies = [
+        Strategy("monolithic", SynthesisOptions(
+            routes=None, dl_propagation=False, max_conflicts=150)),
+        Strategy("routes-1", SynthesisOptions(routes=1, dl_propagation=False)),
+    ]
+    res = synthesize_portfolio(midcheck_problem, midcheck_strategies,
+                               backend="serial", share_knowledge=True)
+    statuses["midcheck/race"] = res.status
+    for sr in res.strategy_results:
+        statuses[f"midcheck/{sr.name}"] = sr.status
+    times["midcheck"] = round(res.total_time, 4)
+    imported = sum(sr.statistics.get("clauses_imported", 0)
+                   for sr in res.strategy_results)
+    sharing["midcheck_clauses_imported"] = imported
+    for key, value in res.pool_statistics.items():
+        sharing[f"midcheck_{key}"] = value
+    statuses["midcheck/import_seen"] = (
+        "yes" if imported > 0
+        and res.pool_statistics.get("midcheck_clauses_pooled", 0) > 0
+        else "NO"
+    )
     return {
         "statuses": statuses,
         "sharing": sharing,
@@ -391,6 +428,11 @@ def run_bench(name: str, scale: Optional[dict] = None,
         "scale": {k: list(v) if isinstance(v, tuple) else v
                   for k, v in scale.items()},
         "wall_s": round(wall, 4),
+        # Propagations per wall second: the arena PR's headline perf
+        # metric.  Machine-dependent (like wall_s), so compare() never
+        # gates on it, but re-recorded baselines must not regress it.
+        "props_per_sec": round(totals.get("propagations", 0) / wall, 1)
+        if wall > 0 else 0.0,
         "checks": len(per_check),
         "statistics": totals,
         "by_backend": by_backend,

@@ -197,10 +197,22 @@ def _execute_strategy(problem, strategy: Strategy, emit=None) -> dict:
         session = engine = None
         if opts.backend == "native":
             # synth.Solver is the patchable engine factory (the
-            # one-engine-per-run contract tests rely on it).
-            engine = synth.Solver()
+            # one-engine-per-run contract tests rely on it).  The
+            # strategy's engine-level options must reach the worker's
+            # engine here exactly as core.solve would wire them.
+            engine = synth.Solver(dl_propagation=opts.dl_propagation,
+                                  max_conflicts=opts.max_conflicts)
             session = Session(backend=NativeBackend(engine=engine))
             engine.backend_name = f"native[{strategy.name}]"
+            if emit is not None:
+                # Mid-check flush: at every SAT restart (and the final
+                # flush of a budget/interrupt abort) stream the current
+                # exportable knowledge, so a worker killed inside one
+                # long check still contributes to the pool.
+                def flush_restart(eng) -> None:
+                    for artifact in sharing.restart_artifacts(opts, eng):
+                        emit(artifact)
+                engine.on_restart = flush_restart
         on_event = None
         if emit is not None:
             def on_event(event: dict) -> None:

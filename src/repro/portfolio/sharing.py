@@ -194,6 +194,30 @@ def prefix_artifact(options, stage_idx: int, fixed: Sequence) -> dict:
     }
 
 
+def _exportable_clauses(engine) -> Tuple[Tuple, ...]:
+    """Units first (the strongest facts), then ranked learned clauses.
+
+    Both exports are entailed by the asserted formulas alone: learned
+    clauses by CDCL invariant (assumptions enter analysis as ordinary
+    literals, never as facts), level-0 trail literals because they are
+    propagated before any assumption decision.  So this is safe to call
+    mid-check, not just after a verdict.
+    """
+    units: List[Tuple] = []
+    if hasattr(engine, "export_unit_clauses"):
+        units = list(engine.export_unit_clauses(
+            max_count=MAX_CLAUSES_PER_SOURCE,
+            vocabulary=schedule_vocabulary,
+        ))
+    learned = engine.export_learned_clauses(
+        max_size=MAX_CLAUSE_SIZE,
+        max_lbd=MAX_CLAUSE_LBD,
+        max_count=MAX_CLAUSES_PER_SOURCE,
+        vocabulary=schedule_vocabulary,
+    )
+    return tuple(units + list(learned))[:MAX_CLAUSES_PER_SOURCE]
+
+
 def terminal_artifacts(options, result, engine) -> List[dict]:
     """Artifacts a worker ships after its solve returns.
 
@@ -212,19 +236,43 @@ def terminal_artifacts(options, result, engine) -> List[dict]:
             "limits": tuple(result.route_veto),
         })
     if engine is not None and hasattr(engine, "export_learned_clauses"):
-        clauses = engine.export_learned_clauses(
-            max_size=MAX_CLAUSE_SIZE,
-            max_lbd=MAX_CLAUSE_LBD,
-            max_count=MAX_CLAUSES_PER_SOURCE,
-            vocabulary=schedule_vocabulary,
-        )
+        clauses = _exportable_clauses(engine)
         if clauses:
             artifacts.append({
                 "kind": "clauses",
                 "signature": sig,
-                "clauses": tuple(clauses),
+                "clauses": clauses,
             })
     return artifacts
+
+
+def restart_artifacts(options, engine) -> List[dict]:
+    """Artifacts flushed from *inside* a check, at a restart boundary.
+
+    This is how a worker that never returns from ``check()`` — killed by
+    a race verdict, a timeout, or a ``max_conflicts`` budget — still
+    contributes: the engine's ``on_restart`` hook calls this with the
+    trail backjumped to the assumption level and streams the result to
+    the parent pool.  The same single-stage-only rule as
+    :func:`terminal_artifacts` applies (an incremental worker's database
+    mixes in freeze consequences); the verdict restriction does not —
+    learned clauses and level-0 units are sound regardless of how (or
+    whether) the check ends.  Artifacts are tagged ``origin: mid-check``
+    so the pool can account for them separately.
+    """
+    if options.stages != 1 or engine is None:
+        return []
+    if not hasattr(engine, "export_learned_clauses"):
+        return []
+    clauses = _exportable_clauses(engine)
+    if not clauses:
+        return []
+    return [{
+        "kind": "clauses",
+        "signature": signature_of(options),
+        "clauses": clauses,
+        "origin": "mid-check",
+    }]
 
 
 # ---------------------------------------------------------------------------
@@ -247,6 +295,7 @@ class KnowledgePool:
         self._prefixes: Dict[StrategySignature, StagePrefix] = {}
         self.counters: Dict[str, int] = {
             "clauses_pooled": 0,
+            "midcheck_clauses_pooled": 0,
             "vetoes_pooled": 0,
             "prefixes_pooled": 0,
             "seeds_served": 0,
@@ -262,12 +311,16 @@ class KnowledgePool:
             return
         if kind == "clauses":
             bucket = self._clauses.setdefault(sig, {})
+            fresh = 0
             for clause in artifact.get("clauses", ()):
                 if clause not in bucket and (
                     len(bucket) < self.max_clauses_per_signature
                 ):
                     bucket[clause] = None
-                    self.counters["clauses_pooled"] += 1
+                    fresh += 1
+            self.counters["clauses_pooled"] += fresh
+            if fresh and artifact.get("origin") == "mid-check":
+                self.counters["midcheck_clauses_pooled"] += fresh
         elif kind == "veto":
             limits = tuple(artifact.get("limits", ()))
             if limits and limits not in self._vetoes:

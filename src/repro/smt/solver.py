@@ -220,6 +220,17 @@ class SolverEngine:
     ``backend_name`` tags this engine's entries in the global per-check
     statistics stream so benchmark trajectories can attribute work per
     backend (see :mod:`repro.eval.bench`).
+
+    ``on_restart`` (also assignable after construction) is called with
+    the engine at every SAT-core restart boundary inside ``check()`` —
+    the trail is backjumped to the assumption level, so
+    :meth:`export_learned_clauses` and :meth:`export_unit_clauses` are
+    safe — letting portfolio workers flush knowledge mid-check instead
+    of only after a check returns.  ``max_conflicts`` bounds the
+    conflicts any single ``check()`` may spend: on exhaustion the check
+    answers ``unknown`` (deterministically, after one final
+    ``on_restart`` flush).  :meth:`interrupt` aborts a running check the
+    same way from another thread.
     """
 
     #: Statistics-stream tag; backends override it per instance.
@@ -228,7 +239,9 @@ class SolverEngine:
     def __init__(self, theory_propagation: bool = True,
                  float_prefilter: bool = False,
                  dl_propagation: bool = True,
-                 dl_effort: Optional[int] = None) -> None:
+                 dl_effort: Optional[int] = None,
+                 on_restart=None,
+                 max_conflicts: Optional[int] = None) -> None:
         self._theory = LraTheory(propagation=theory_propagation,
                                  float_prefilter=float_prefilter,
                                  dl_propagation=dl_propagation,
@@ -250,6 +263,22 @@ class SolverEngine:
         self._min_core_lits: Optional[List[int]] = None
         self._core_checks = 0
         self._clauses_imported = 0
+        #: Mid-check export hook: called with this engine at every SAT
+        #: restart (and once on a budget/interrupt abort).
+        self.on_restart = on_restart
+        #: Conflict budget per check(); None = unbounded.
+        self.max_conflicts = max_conflicts
+        self._sat.on_restart = self._fire_restart
+
+    def _fire_restart(self, _sat: SatSolver) -> None:
+        callback = self.on_restart
+        if callback is not None:
+            callback(self)
+
+    def interrupt(self) -> None:
+        """Abort a running :meth:`check` at its next restart-safe point
+        (the check then answers ``unknown``).  Thread-safe."""
+        self._sat.interrupt()
 
     @property
     def assertions(self) -> list[BoolExpr]:
@@ -326,7 +355,9 @@ class SolverEngine:
         only (they are internalized once, then passed to the SAT core as
         assumption literals — nothing to retract afterwards).  When the
         answer is unsat *because of* the assumptions, :meth:`unsat_core`
-        returns the responsible subset.
+        returns the responsible subset.  With ``max_conflicts`` set (or
+        after :meth:`interrupt`) the answer may be ``unknown``: the
+        budget ran out before a verdict, and the solver remains usable.
         """
         self._model = None
         self._core_scope_lits = None
@@ -338,7 +369,7 @@ class SolverEngine:
         self._collect_assumptions(assumptions, by_lit)
         lits = scope_lits + list(by_lit)
         before = self.statistics
-        solved = self._sat.solve(lits)
+        solved = self._sat.solve(lits, max_conflicts=self.max_conflicts)
         after = self.statistics
         self._last_check_stats = {
             key: after.get(key, 0) - before.get(key, 0)
@@ -347,6 +378,9 @@ class SolverEngine:
         entry: Dict[str, object] = dict(self._last_check_stats)
         entry["backend"] = self.backend_name
         _GLOBAL_CHECK_STATS.append(entry)  # type: ignore[arg-type]
+        if solved is None:
+            # Budget/interrupt abort: no verdict, no model, no core.
+            return unknown
         if solved:
             bools = {
                 bv: self._sat.model_value(satvar)
@@ -481,6 +515,36 @@ class SolverEngine:
                 ranked.append((clause.lbd, len(lits), tuple(serialized)))
         ranked.sort(key=lambda t: (t[0], t[1]))
         return [ser for _, _, ser in ranked[:max_count]]
+
+    def export_unit_clauses(self, max_count: int = 256, vocabulary=None):
+        """Root-level facts serialized as unit clauses.
+
+        Unit learned clauses are asserted straight onto the SAT trail at
+        decision level 0 and never stored in the learned-clause database,
+        so :meth:`export_learned_clauses` cannot see them — yet they are
+        the strongest facts a worker derives.  Every level-0 literal is
+        entailed by the asserted formulas alone (assumptions live at
+        decision levels >= 1), so exporting them follows exactly the
+        sharing rules of multi-literal clauses.  Filtering mirrors
+        :meth:`export_learned_clauses`: only literals whose SAT variable
+        maps back to an interned term that passes ``vocabulary`` export.
+        Returns a list of 1-tuples of serialized literals, importable by
+        :meth:`import_clauses`.  Safe to call mid-check from
+        ``on_restart``.
+        """
+        units = []
+        for l in self._sat.root_literals():
+            origin = self._cnf.origin_of(var_of(l))
+            if origin is None or (
+                vocabulary is not None and not vocabulary(origin)
+            ):
+                continue
+            units.append(
+                (serialize_literal(origin, negated=not is_positive(l)),)
+            )
+            if len(units) >= max_count:
+                break
+        return units
 
     def import_clauses(self, clauses, pad: Iterable[BoolExpr] = ()) -> int:
         """Install serialized clauses (weakened by the ``pad`` literals).

@@ -184,6 +184,65 @@ class TestSerializationBackend:
             Session(backend="serialization", engine="cvc9")
 
 
+def _pigeonhole_session(n_pigeons=7, n_holes=6, prefix="php", **options):
+    """A hard pure-SAT session: PHP(n_pigeons, n_holes), unsat."""
+    s = Session(**options)
+    var = [[Bool(f"{prefix}_{p}_{h}") for h in range(n_holes)]
+           for p in range(n_pigeons)]
+    for p in range(n_pigeons):
+        s.add(Or([var[p][h] for h in range(n_holes)]))
+    for h in range(n_holes):
+        for p1 in range(n_pigeons):
+            for p2 in range(p1 + 1, n_pigeons):
+                s.add(Or(Not(var[p1][h]), Not(var[p2][h])))
+    return s
+
+
+class TestCheckBudgetAndRestartHook:
+    """``max_conflicts`` bounds a check; ``on_restart`` observes it."""
+
+    def test_exhausted_budget_answers_unknown_without_model(self):
+        s = _pigeonhole_session(prefix="budget1", max_conflicts=20)
+        out = s.check()
+        assert out == unknown and out.model is None
+        assert s.statistics["unknown"] == 1
+
+    def test_budget_does_not_disturb_easy_checks(self):
+        x, y, a, b = fresh("budget2")
+        s = Session(max_conflicts=20)
+        s.add(Or(a, b), x >= 3)
+        assert s.check() == sat
+        s.add(x <= 2)
+        assert s.check() == unsat
+
+    def test_unknown_under_assumptions_has_no_core(self):
+        a = Bool("budget3_guard")
+        s = _pigeonhole_session(prefix="budget3", max_conflicts=20)
+        out = s.check(a)
+        assert out == unknown
+        assert out.unsat_core is None
+        assert s.statistics["cores_extracted"] == 0
+
+    def test_on_restart_fires_with_the_engine(self):
+        seen = []
+        s = _pigeonhole_session(prefix="hook1", max_conflicts=150,
+                                on_restart=lambda eng: seen.append(eng))
+        s.check()
+        assert seen, "no restart fired inside the check"
+        assert all(e is s.backend.engine for e in seen)
+
+    def test_interrupt_aborts_from_the_hook(self):
+        def stop(engine):
+            engine.interrupt()
+
+        s = _pigeonhole_session(prefix="hook2", on_restart=stop)
+        out = s.check()
+        assert out == unknown
+        # The flag clears on entry: an untouched re-check completes.
+        s.backend.engine.on_restart = None
+        assert s.check() == unsat
+
+
 class TestUndecidedBackendPropagation:
     """Review regressions: an 'unknown' answer must never be upgraded to
     a definite verdict by downstream consumers."""

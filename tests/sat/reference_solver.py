@@ -1,58 +1,27 @@
-"""Conflict-driven clause-learning (CDCL) SAT solver.
+"""Frozen pre-arena reference CDCL solver (test oracle only).
 
-This is the propositional core of the from-scratch SMT solver used to
-reproduce the paper's Z3-based synthesis (substitution S1 in DESIGN.md).
-Features: two-watched-literal propagation, first-UIP conflict analysis,
-exponential VSIDS decision heuristic, phase saving, Luby restarts, learned
-clause-database reduction, incremental clause addition, solving under
-assumptions, and a pluggable *theory backend* hook that turns the solver
-into the propositional engine of a DPLL(T) loop.
+This is the object-based (``_Clause`` instances, per-clause watcher
+lists) SAT core exactly as it stood before the flat-array arena rewrite
+of :mod:`repro.sat.solver`, kept as the differential-testing oracle: the
+equivalence property tests replay identical clause streams through both
+implementations and require identical verdicts, models,
+failed-assumption cores, and conflict/decision counters.
 
-The clause database is a flat int arena (:mod:`repro.sat.arena`): every
-clause is an integer handle into one packed ``array('l')`` of literals
-plus parallel side arrays for LBD/activity/flags, MiniSat-style.  Watcher
-lists hold handles, reasons are handles (or a lazy
-:class:`_TheoryReason`), and deletion is a dead-flag write — dead handles
-are dropped lazily as propagation traverses a watcher list, and the
-arena compacts (preserving handles, moving only offsets) once half the
-literal array is dead.  Because a clause is now just a slice of ints,
-the solver can flush learned clauses mid-search: the :attr:`on_restart`
-callback fires at every restart boundary (and once more on a
-``max_conflicts``/:meth:`interrupt` abort) with the trail cancelled to
-the assumption level, so level-0 facts and the learned-clause database
-are safe to export.
+The two learnt-database management bugfixes that shipped *with* the
+arena PR are applied here too — LBD-aware reduction with glue-clause
+survival, and geometric ``max_learnts`` growth at restarts — so the
+reference and the arena solver follow the same search trajectory and the
+differential tests isolate the memory-layout change alone.
 
-The theory backend protocol (all methods optional, see
-:class:`TheoryBackend`):
-
-* ``on_assert(lit)`` — called for every literal as it enters the trail;
-  may return a *conflict explanation* (a list of asserted literals that are
-  jointly theory-inconsistent).
-* ``on_backjump(n_kept)`` — trail was truncated to its first ``n_kept``
-  literals; the theory must undo newer assertions.
-* ``final_check()`` — called on a full propositional assignment; may return
-  a conflict explanation.  Returning ``None`` means the assignment is
-  theory-consistent and the solver answers SAT.
-* ``propagate(assigns)`` — called when Boolean and theory propagation are
-  at fixpoint with no conflict; returns *implied literals* — unassigned
-  atoms entailed by the current theory state — each paired with the
-  asserted literals that entail it.  Explanations are arbitrary-arity
-  (a simplex bound implication ships one literal, a difference-logic
-  path implication ships the whole path); conflict analysis and
-  final-conflict (unsat core) analysis resolve through either.  The
-  solver assigns implied literals instead of branching (the
-  theory-propagation step of DPLL(T)); the explanation is materialized
-  into a reason clause only if conflict analysis ever resolves on the
-  implication.
+Not part of the package; nothing outside ``tests/sat`` may import it.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Iterable, List, Optional, Sequence, Tuple
 
-from ..errors import SolverError
-from .arena import ClauseArena
-from .literals import FALSE, TRUE, UNASSIGNED, is_positive, neg, var_of
+from repro.errors import SolverError
+from repro.sat.literals import FALSE, TRUE, UNASSIGNED, is_positive, neg, var_of
 
 #: A theory-implied literal with its explanation: the asserted literals
 #: that jointly entail it.  The explanation is only materialized into a
@@ -101,22 +70,25 @@ def luby(i: int) -> int:
 
 
 class _TheoryReason:
-    """Reason for a theory-propagated literal, materialized lazily.
+    """Reason clause for a theory-propagated literal, materialized lazily.
 
-    ``lits`` is built on first access: ``[implied, -e1, -e2, ...]`` — a
-    clause that is valid by theory reasoning and asserting under the
-    trail that produced it.  The explanation may have any arity:
-    difference-logic path implications carry every asserted literal of
-    the deriving path, and both 1-UIP and final-conflict analysis expand
-    such reasons like any clause handle.
+    Duck-types the parts of :class:`_Clause` that conflict analysis uses
+    (``lits``, ``learnt``, ``activity``).  ``lits`` is built on first
+    access: ``[implied, -e1, -e2, ...]`` — a clause that is valid by theory
+    reasoning and asserting under the trail that produced it.  The
+    explanation may have any arity: difference-logic path implications
+    carry every asserted literal of the deriving path, and both 1-UIP
+    and final-conflict analysis expand such reasons like any clause.
     """
 
-    __slots__ = ("_implied", "_explain", "_lits")
+    __slots__ = ("_implied", "_explain", "_lits", "learnt", "activity")
 
     def __init__(self, implied: int, explain: Tuple[int, ...]):
         self._implied = implied
         self._explain = explain
         self._lits: Optional[List[int]] = None
+        self.learnt = False
+        self.activity = 0.0
 
     @property
     def lits(self) -> List[int]:
@@ -125,23 +97,26 @@ class _TheoryReason:
         return self._lits
 
 
-#: A reason on the trail: a clause handle, a lazy theory explanation, or
-#: None for decisions / assumption enqueues / root units.
-Reason = Union[int, _TheoryReason]
+class _Clause:
+    """A clause with activity bookkeeping for database reduction.
 
-#: A conflict entering analysis: a clause handle from propagation, or a
-#: plain literal list from the theory (never installed in the database).
-Conflict = Union[int, List[int]]
+    ``lbd`` (literal block distance: distinct decision levels among the
+    literals at learning time) is recorded for learned clauses; it ranks
+    sharing-export candidates (low LBD = likely to propagate elsewhere).
+    """
 
+    __slots__ = ("lits", "learnt", "activity", "lbd")
 
-class LearnedClause:
-    """Read-only export view of one learned clause (lits + LBD)."""
-
-    __slots__ = ("lits", "lbd")
-
-    def __init__(self, lits: List[int], lbd: int):
+    def __init__(self, lits: List[int], learnt: bool, lbd: int = 0):
         self.lits = lits
+        self.learnt = learnt
+        self.activity = 0.0
         self.lbd = lbd
+
+
+def _clause_quality(c: _Clause):
+    # Worst-first: highest LBD, then lowest activity.
+    return (-c.lbd, c.activity)
 
 
 class SatSolver:
@@ -158,17 +133,16 @@ class SatSolver:
         # Indexed by variable (1-based; index 0 unused).
         self._assigns: List[int] = [UNASSIGNED]
         self._levels: List[int] = [0]
-        self._reasons: List[Optional[Reason]] = [None]
+        self._reasons: List[Optional[_Clause]] = [None]
         self._activity: List[float] = [0.0]
         self._saved_phase: List[bool] = [False]
-        # Indexed by literal: lists of clause handles (lazily pruned).
-        self._watches: List[List[int]] = [[], []]
+        # Indexed by literal.
+        self._watches: List[List[_Clause]] = [[], []]
         self._trail: List[int] = []
         self._trail_lim: List[int] = []
         self._qhead = 0
-        self._arena = ClauseArena()
-        self._clauses: List[int] = []
-        self._learnts: List[int] = []
+        self._clauses: List[_Clause] = []
+        self._learnts: List[_Clause] = []
         self._var_inc = 1.0
         self._var_decay = 0.95
         self._cla_inc = 1.0
@@ -187,12 +161,6 @@ class SatSolver:
         self._model: List[int] = []
         self._theory_qhead = 0
         self._failed_assumptions: List[int] = []
-        self._interrupt_flag = False
-        #: Fired with the solver after every restart backjump (and once
-        #: more on a budget/interrupt abort): the trail is at the
-        #: assumption level, so :meth:`root_literals` and
-        #: :meth:`learned_clauses` are safe to export mid-solve.
-        self.on_restart: Optional[Callable[["SatSolver"], None]] = None
 
     # ------------------------------------------------------------------
     # Variables and clauses
@@ -277,16 +245,10 @@ class SatSolver:
                 self._ok = False
                 return False
             return True
-        handle = self._arena.new_clause(out, learnt=False)
-        self._clauses.append(handle)
-        self._attach(handle)
+        clause = _Clause(out, learnt=False)
+        self._clauses.append(clause)
+        self._attach(clause)
         return True
-
-    def clause_literals(self) -> Iterable[List[int]]:
-        """The problem clauses as literal lists (export view, in add order)."""
-        arena = self._arena
-        for handle in self._clauses:
-            yield arena.literals(handle)
 
     # ------------------------------------------------------------------
     # Assignment helpers
@@ -308,28 +270,13 @@ class SatSolver:
             raise SolverError("no model available; call solve() first")
         return self._model[var] == TRUE
 
-    def learned_clauses(self) -> List[LearnedClause]:
+    def learned_clauses(self) -> List[_Clause]:
         """The live learned-clause database (read-only view for export).
 
         Unit learned clauses are asserted directly on the trail and never
-        stored, so they do not appear here — :meth:`root_literals`
-        exposes them (and every other level-0 fact) for unit export.
+        stored, so they do not appear here.
         """
-        arena = self._arena
-        return [LearnedClause(arena.literals(h), arena.lbd[h])
-                for h in self._learnts]
-
-    def root_literals(self) -> List[int]:
-        """Literals asserted at decision level 0, in trail order.
-
-        These are facts entailed by the clause database alone —
-        independent of any assumptions, which live at levels >= 1 — so
-        they are sound to export as unit clauses.  Safe to call
-        mid-solve from :attr:`on_restart` (the level-0 trail prefix
-        survives every backjump).
-        """
-        end = self._trail_lim[0] if self._trail_lim else len(self._trail)
-        return self._trail[:end]
+        return list(self._learnts)
 
     @property
     def failed_assumptions(self) -> List[int]:
@@ -347,7 +294,7 @@ class SatSolver:
     def decision_level(self) -> int:
         return len(self._trail_lim)
 
-    def _enqueue(self, l: int, reason: Optional[Reason]) -> bool:
+    def _enqueue(self, l: int, reason: Optional[_Clause]) -> bool:
         val = self._lit_value(l)
         if val == FALSE:
             return False
@@ -364,88 +311,53 @@ class SatSolver:
     # Watched-literal propagation
     # ------------------------------------------------------------------
 
-    def _attach(self, handle: int) -> None:
-        arena = self._arena
-        o = arena.off[handle]
-        self._watches[arena.lits[o] ^ 1].append(handle)
-        self._watches[arena.lits[o + 1] ^ 1].append(handle)
+    def _attach(self, clause: _Clause) -> None:
+        self._watches[neg(clause.lits[0])].append(clause)
+        self._watches[neg(clause.lits[1])].append(clause)
 
-    def _propagate(self) -> Optional[int]:
-        """Unit propagation to fixpoint; returns a conflicting handle or None.
-
-        Hot loop: clause state is read straight out of the arena's flat
-        arrays (no per-clause objects), literal truth is computed inline
-        (``assigns[l >> 1] ^ (l & 1)`` is 1/0/negative for
-        true/false/unassigned), and dead handles are dropped from the
-        watcher list as a side effect of the traversal.
-        """
-        arena = self._arena
-        lits = arena.lits
-        off = arena.off
-        size = arena.size
-        dead = arena.dead
-        assigns = self._assigns
-        levels = self._levels
-        reasons = self._reasons
-        watches = self._watches
-        trail = self._trail
-        while self._qhead < len(trail):
-            p = trail[self._qhead]
+    def _propagate(self) -> Optional[_Clause]:
+        """Unit propagation to fixpoint; returns a conflicting clause or None."""
+        while self._qhead < len(self._trail):
+            p = self._trail[self._qhead]
             self._qhead += 1
             self._propagations += 1
-            not_p = p ^ 1
-            watch_list = watches[p]
-            new_list: List[int] = []
-            append_kept = new_list.append
+            watch_list = self._watches[p]
+            new_list: List[_Clause] = []
             i = 0
             n = len(watch_list)
-            conflict = -1
-            level = len(self._trail_lim)
+            conflict: Optional[_Clause] = None
             while i < n:
-                c = watch_list[i]
+                clause = watch_list[i]
                 i += 1
-                if dead[c]:
-                    continue
-                o = off[c]
+                lits = clause.lits
                 # Ensure the falsified literal is at position 1.
-                l0 = lits[o]
-                if l0 == not_p:
-                    l0 = lits[o + 1]
-                    lits[o] = l0
-                    lits[o + 1] = not_p
-                fval = assigns[l0 >> 1] ^ (l0 & 1)
-                if fval == 1:
-                    append_kept(c)
+                if lits[0] == neg(p):
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._lit_value(first) == TRUE:
+                    new_list.append(clause)
                     continue
                 # Search a new literal to watch.
                 moved = False
-                for k in range(o + 2, o + size[c]):
-                    lk = lits[k]
-                    if assigns[lk >> 1] ^ (lk & 1) != 0:
-                        lits[o + 1] = lk
-                        lits[k] = not_p
-                        watches[lk ^ 1].append(c)
+                for k in range(2, len(lits)):
+                    if self._lit_value(lits[k]) != FALSE:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watches[neg(lits[1])].append(clause)
                         moved = True
                         break
                 if moved:
                     continue
                 # Clause is unit or conflicting.
-                append_kept(c)
-                if fval == 0:
-                    conflict = c
+                new_list.append(clause)
+                if not self._enqueue(first, clause):
+                    conflict = clause
                     # Copy the rest of the watch list and stop.
                     while i < n:
-                        append_kept(watch_list[i])
+                        new_list.append(watch_list[i])
                         i += 1
-                    self._qhead = len(trail)
-                else:
-                    v0 = l0 >> 1
-                    assigns[v0] = (l0 & 1) ^ 1
-                    levels[v0] = level
-                    reasons[v0] = c
-                    trail.append(l0)
-            watches[p] = new_list
-            if conflict >= 0:
+                    self._qhead = len(self._trail)
+            self._watches[p] = new_list
+            if conflict is not None:
                 return conflict
         return None
 
@@ -453,35 +365,18 @@ class SatSolver:
     # Conflict analysis (first UIP)
     # ------------------------------------------------------------------
 
-    def _reason_lits(self, reason: Reason) -> List[int]:
-        """The literal list of a reason: arena slice or lazy theory clause."""
-        if type(reason) is int:
-            return self._arena.literals(reason)
-        return reason.lits
-
-    def _conflict_lits(self, conflict: Conflict) -> List[int]:
-        if type(conflict) is int:
-            return self._arena.literals(conflict)
-        return conflict
-
-    def _analyze(self, conflict: Conflict) -> tuple[List[int], int, int]:
+    def _analyze(self, conflict: _Clause) -> tuple[List[int], int]:
         """Derive a 1-UIP learned clause and its backjump level."""
         learnt: List[int] = [0]  # placeholder for the asserting literal
         seen = [False] * (self._nvars + 1)
         counter = 0
         p: Optional[int] = None
-        reason: Optional[Conflict] = conflict
+        reason: Optional[_Clause] = conflict
         index = len(self._trail) - 1
         while True:
             assert reason is not None
-            if type(reason) is int:
-                self._bump_clause(reason)
-                rlits = self._arena.literals(reason)
-            elif type(reason) is list:
-                rlits = reason
-            else:
-                rlits = reason.lits
-            for q in rlits:
+            self._bump_clause(reason)
+            for q in reason.lits:
                 if p is not None and q == p:
                     continue
                 v = var_of(q)
@@ -513,7 +408,7 @@ class SatSolver:
                 continue
             if any(
                 not seen[var_of(x)] and self._levels[var_of(x)] > 0
-                for x in self._reason_lits(r)
+                for x in r.lits
                 if x != neg(q)
             ):
                 kept.append(q)
@@ -538,7 +433,7 @@ class SatSolver:
         ``analyzeFinal``).
 
         Walks the implication graph backwards from ``conflict_lits``: a
-        reached literal with a reason is expanded, a reached
+        reached literal with a reason clause is expanded, a reached
         *decision* is — at decision levels at or below the assumption
         prefix — one of the assumption literals and joins the core.  Must
         run before the trail is cancelled.  Returns a subset of
@@ -565,7 +460,7 @@ class SatSolver:
                 if l in assumption_set:
                     core.append(l)
             else:
-                for q in self._reason_lits(reason):
+                for q in reason.lits:
                     qv = var_of(q)
                     if self._levels[qv] > 0:
                         seen[qv] = 1
@@ -577,11 +472,11 @@ class SatSolver:
         if len(learnt) == 1:
             self._enqueue(learnt[0], None)
             return
-        handle = self._arena.new_clause(learnt, learnt=True, lbd=lbd)
-        self._learnts.append(handle)
-        self._attach(handle)
-        self._bump_clause(handle)
-        self._enqueue(learnt[0], handle)
+        clause = _Clause(learnt, learnt=True, lbd=lbd)
+        self._learnts.append(clause)
+        self._attach(clause)
+        self._bump_clause(clause)
+        self._enqueue(learnt[0], clause)
 
     # ------------------------------------------------------------------
     # Activity bookkeeping
@@ -599,15 +494,13 @@ class SatSolver:
     def _decay_var_activity(self) -> None:
         self._var_inc /= self._var_decay
 
-    def _bump_clause(self, handle: int) -> None:
-        arena = self._arena
-        if not arena.learnt[handle]:
+    def _bump_clause(self, c: _Clause) -> None:
+        if not c.learnt:
             return
-        activity = arena.activity
-        activity[handle] += self._cla_inc
-        if activity[handle] > 1e20:
-            for h in self._learnts:
-                activity[h] *= 1e-20
+        c.activity += self._cla_inc
+        if c.activity > 1e20:
+            for cl in self._learnts:
+                cl.activity *= 1e-20
             self._cla_inc *= 1e-20
 
     def _decay_clause_activity(self) -> None:
@@ -720,14 +613,17 @@ class SatSolver:
                 return [neg(l) for l in explanation]
         return None
 
+    def _conflict_clause_from_explanation(self, clause_lits: List[int]) -> _Clause:
+        return _Clause(clause_lits, learnt=True)
+
     def _theory_propagate(self) -> Optional[List[int]]:
         """Assign theory-implied literals; return a conflict clause or None.
 
         Each implied literal is enqueued with a :class:`_TheoryReason`
         whose explanation clause is built only if conflict analysis ever
         resolves on it.  An implied literal that is already false is a
-        theory conflict: its explanation clause — which the current
-        assignment falsifies — is returned for analysis.
+        theory conflict: its (eagerly materialized) reason clause — which
+        the current assignment falsifies — is returned for analysis.
         """
         for implied, explain in self.theory.propagate(self._assigns):
             val = self._lit_value(implied)
@@ -743,10 +639,9 @@ class SatSolver:
     # Clause database reduction
     # ------------------------------------------------------------------
 
-    def _locked(self, handle: int) -> bool:
-        arena = self._arena
-        v = arena.lits[arena.off[handle]] >> 1
-        return self._reasons[v] == handle and self._assigns[v] != UNASSIGNED
+    def _locked(self, c: _Clause) -> bool:
+        v = var_of(c.lits[0])
+        return self._reasons[v] is c and self._assigns[v] != UNASSIGNED
 
     def _reduce_db(self) -> None:
         """Drop the worse half of the learnt clauses, in place.
@@ -754,71 +649,41 @@ class SatSolver:
         Glucose-style quality ordering: LBD is the primary key (highest
         first — those are dropped), activity breaks ties (least active
         dropped first).  Locked, binary, and glue (LBD <= 2) clauses
-        survive regardless of position.  Deletion is a dead-flag write;
-        watcher lists shed the dead handles lazily during propagation,
-        and the arena compacts once half its literal array is dead.
+        survive regardless of position.  The list is compacted with a
+        write cursor (no rebuilt list, no churn for the kept majority).
         """
-        arena = self._arena
-        lbd = arena.lbd
-        activity = arena.activity
-        size = arena.size
         learnts = self._learnts
-        learnts.sort(key=lambda h: (-lbd[h], activity[h]))
+        learnts.sort(key=_clause_quality)
         lim = len(learnts) // 2
         write = 0
-        for i, h in enumerate(learnts):
-            if size[h] > 2 and lbd[h] > 2 and not self._locked(h) and i < lim:
-                arena.delete(h)
+        for i, c in enumerate(learnts):
+            if (len(c.lits) > 2 and c.lbd > 2 and not self._locked(c)
+                    and i < lim):
+                self._detach(c)
             else:
-                learnts[write] = h
+                learnts[write] = c
                 write += 1
         del learnts[write:]
-        if arena.wasted and arena.wasted * 2 >= len(arena.lits):
-            self._compact()
 
-    def _compact(self) -> None:
-        """Purge dead handles from every watcher list, then repack the arena.
-
-        Search-neutral: the relative order of live handles in each
-        watcher list is preserved (propagation would have skipped the
-        dead ones anyway), and compaction keeps handles stable — only
-        their offsets move — so reasons need no remapping.  Afterwards
-        the dead ids are recyclable.
-        """
-        dead = self._arena.dead
-        for wl in self._watches:
-            if wl:
-                wl[:] = [h for h in wl if not dead[h]]
-        self._arena.compact()
+    def _detach(self, c: _Clause) -> None:
+        for w in (neg(c.lits[0]), neg(c.lits[1])):
+            try:
+                self._watches[w].remove(c)
+            except ValueError:
+                pass
 
     # ------------------------------------------------------------------
     # Main search loop
     # ------------------------------------------------------------------
 
-    def interrupt(self) -> None:
-        """Ask a running :meth:`solve` to abort at the next restart-safe
-        point (it returns None).  Safe to call from another thread; the
-        flag is cleared when the next solve starts."""
-        self._interrupt_flag = True
-
-    def solve(
-        self,
-        assumptions: Sequence[int] = (),
-        max_conflicts: Optional[int] = None,
-    ) -> Optional[bool]:
+    def solve(self, assumptions: Sequence[int] = ()) -> bool:
         """Solve under the given assumption literals.
 
-        Returns True (SAT: model available through :meth:`model_value`),
+        Returns True (SAT: model available through :meth:`model_value`) or
         False (UNSAT under these assumptions; the responsible assumption
-        subset is then available via :attr:`failed_assumptions`), or None
-        (aborted: this call spent ``max_conflicts`` conflicts, or
-        :meth:`interrupt` was called).  Aborts happen only at
-        restart-safe points — after the trail is cancelled and a final
-        :attr:`on_restart` flush has fired — so they are deterministic
-        for a fixed ``max_conflicts`` and the solver stays reusable.
+        subset is then available via :attr:`failed_assumptions`).
         """
         self._failed_assumptions = []
-        self._interrupt_flag = False
         if not self._ok:
             return False
         self.cancel_until(0)
@@ -829,7 +694,6 @@ class SatSolver:
         restart_count = 0
         conflict_budget = 100 * luby(restart_count + 1)
         conflicts_here = 0
-        conflicts_at_entry = self._conflicts
         base = max(1000, int(len(self._clauses) * self._max_learnts_factor))
         if self._max_learnts is None or self._max_learnts < base:
             self._max_learnts = float(base)
@@ -856,11 +720,11 @@ class SatSolver:
                     if not learned_from_theory:
                         self._ok = False
                         return False
-                    conflict = learned_from_theory
+                    conflict = self._conflict_clause_from_explanation(learned_from_theory)
                     # A theory conflict may only involve literals below the
                     # current decision level; jump there so that _analyze's
                     # invariant (>= 1 literal at the current level) holds.
-                    clause_level = max(self._levels[var_of(l)] for l in conflict)
+                    clause_level = max(self._levels[var_of(l)] for l in conflict.lits)
                     if clause_level < self.decision_level:
                         self.cancel_until(clause_level)
                 if self.decision_level <= len(assumptions):
@@ -869,7 +733,7 @@ class SatSolver:
                         self._ok = False
                     else:
                         self._failed_assumptions = self._analyze_final(
-                            self._conflict_lits(conflict), assumptions
+                            conflict.lits, assumptions
                         )
                     self.cancel_until(0)
                     return False
@@ -881,16 +745,6 @@ class SatSolver:
                 continue
 
             # No propositional or theory conflict at this point.
-            if self._interrupt_flag or (
-                max_conflicts is not None
-                and self._conflicts - conflicts_at_entry >= max_conflicts
-            ):
-                # Deterministic abort at a restart-safe point, with one
-                # final export flush so a killed worker still shares.
-                self.cancel_until(0)
-                if self.on_restart is not None:
-                    self.on_restart(self)
-                return None
             if conflicts_here >= conflict_budget:
                 restart_count += 1
                 self._restarts += 1
@@ -898,8 +752,6 @@ class SatSolver:
                 conflict_budget = 100 * luby(restart_count + 1)
                 self._max_learnts *= self._max_learnts_growth
                 self.cancel_until(self._assumption_level(assumptions))
-                if self.on_restart is not None:
-                    self.on_restart(self)
                 continue
             if len(self._learnts) >= self._max_learnts + len(self._trail):
                 self._reduce_db()
@@ -913,8 +765,8 @@ class SatSolver:
                     if not clause:
                         self._ok = False
                         return False
-                    conflict = clause
-                    clause_level = max(self._levels[var_of(l)] for l in conflict)
+                    conflict = self._conflict_clause_from_explanation(clause)
+                    clause_level = max(self._levels[var_of(l)] for l in conflict.lits)
                     if clause_level < self.decision_level:
                         self.cancel_until(clause_level)
                     if self.decision_level <= len(assumptions):
@@ -922,7 +774,7 @@ class SatSolver:
                             self._ok = False
                         else:
                             self._failed_assumptions = self._analyze_final(
-                                conflict, assumptions
+                                conflict.lits, assumptions
                             )
                         self.cancel_until(0)
                         return False
