@@ -104,6 +104,16 @@ class NativeBackend:
         """The underlying engine (escape hatch for advanced callers)."""
         return self._engine
 
+    def interrupt(self) -> None:
+        """Abort a running check at its next conflict (thread-safe).
+
+        The aborted check answers ``unknown``; the engine stays usable.
+        This is the supervision layer's handle for bounding a
+        non-preemptible in-process solve by wall clock (see
+        :class:`repro.portfolio.supervision.DeadlineWatchdog`).
+        """
+        self._engine.interrupt()
+
     def add(self, expr: BoolExpr) -> None:
         self._engine.add(expr)
 

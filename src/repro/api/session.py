@@ -201,6 +201,27 @@ class Session:
         self._last_outcome = outcome
         return outcome
 
+    def interrupt(self) -> None:
+        """Abort a running :meth:`check` from another thread.
+
+        The interrupted check answers ``unknown`` and the session stays
+        usable.  Only backends exposing an interruptible engine support
+        this (the native backend does); others raise
+        :class:`SolverError` — callers bounding arbitrary backends
+        should gate on the session's ``can_interrupt``.
+        """
+        interrupt = getattr(self._backend, "interrupt", None)
+        if interrupt is None:
+            raise SolverError(
+                f"backend {self.backend_name!r} is not interruptible"
+            )
+        interrupt()
+
+    @property
+    def can_interrupt(self) -> bool:
+        """Does this session's backend support :meth:`interrupt`?"""
+        return getattr(self._backend, "interrupt", None) is not None
+
     def model(self):
         """The last outcome's model (compatibility convenience)."""
         if self._last_outcome is None:

@@ -104,6 +104,12 @@ class SynthesisOptions:
             applied before/alongside the run's own search (statistics:
             ``clauses_imported``, ``route_vetoes_applied``,
             ``prefix_probes``/``prefix_hits``).
+        faults: a :class:`repro.portfolio.faults.WorkerFaults` bundle —
+            deterministic fault injection (crash-at-conflict, hang,
+            slow start) applied around this run's engine, used by the
+            portfolio fault-injection harness to rehearse worker
+            failures on demand (see ``docs/robustness.md``).  None (the
+            default) injects nothing.
     """
 
     mode: str = MODE_STABILITY
@@ -117,6 +123,7 @@ class SynthesisOptions:
     max_repair_rounds: int = 3
     max_conflicts: Optional[int] = None
     seed_knowledge: Optional["SeedKnowledge"] = None  # noqa: F821
+    faults: Optional["WorkerFaults"] = None  # noqa: F821
 
     def __post_init__(self) -> None:
         if self.mode not in (MODE_STABILITY, MODE_DEADLINE):
@@ -279,6 +286,15 @@ def solve(
                               max_conflicts=opts.max_conflicts)))
         else:
             session = Session(backend=opts.backend)
+    if opts.faults:
+        # Deferred import: repro.portfolio imports this module.  The
+        # trigger wraps whatever on_restart hook the caller installed
+        # (portfolio workers chain heartbeats/knowledge flushes there).
+        from ..portfolio import faults as fault_injection
+        fault_injection.apply_presolve(opts.faults)
+        fault_engine = getattr(session.backend, "engine", None)
+        if fault_engine is not None:
+            fault_injection.install_engine_triggers(fault_engine, opts.faults)
     encoder = Encoder(problem, session, opts.routes, opts.path_cutoff,
                       namespace=_SHARED_NAMESPACE)
 

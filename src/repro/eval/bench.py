@@ -40,6 +40,7 @@ QUICK_SCALES: Dict[str, dict] = {
     "unsat_core": {"routes": 2},
     "portfolio": {"n_apps": 4, "islands": 2, "midcheck_apps": 4},
     "dl_propagation": {"n_systems": 3, "n_apps": 4, "n_switches": 5},
+    "faults": {"n_apps": 4, "gm_apps": 4, "timeout": 60.0},
 }
 
 
@@ -380,6 +381,147 @@ def _bench_dl_propagation(scale: dict) -> dict:
     }
 
 
+def _bench_faults(scale: dict) -> dict:
+    """Chaos races under deterministic fault injection (robustness gate).
+
+    Four supervised scenarios (see ``docs/robustness.md``), every fault
+    seeded and reproducible:
+
+    * ``sharing``/``gm`` — the acceptance races: one worker SIGKILLed at
+      start, one injected into a hang, one artifact frame corrupted, on
+      the sharing funnel and the automotive case study.  The regression
+      surface is *verdict preservation*: the chaos race must report the
+      same status (and winner) as the identical fault-free race, with
+      ``crash_retries >= 1`` and the corrupt frame quarantined instead
+      of imported.
+    * ``stall`` — the only strategy hangs on attempt 1; the missed-
+      heartbeat detector must kill and relaunch it (``stalls_detected``
+      and a sat verdict from attempt 2).
+    * ``degrade`` — the only strategy is crashed on its first three
+      process attempts, exhausting ``max_crash_retries=2``; the race
+      must degrade to the serial backend and still solve
+      (``degraded_to_serial`` plus ``crash_budget_exhausted``).
+
+    The record's ``supervision`` block carries the summed supervision
+    counters (CI asserts the key ones nonzero) and ``no_leaked_workers``
+    certifies that every spawned process was reaped.
+    """
+    import multiprocessing as mp
+
+    from ..core.synthesizer import SynthesisOptions
+    from ..portfolio import (FaultPlan, FaultSpec, Strategy,
+                             SupervisionPolicy, synthesize_portfolio)
+    from ..portfolio.faults import CORRUPT, CRASH, HANG
+    from . import workloads
+
+    timeout = scale.get("timeout", 60.0)
+    policy = SupervisionPolicy(heartbeat_interval=0.05, stall_timeout=0.6,
+                               backoff_base=0.01, kill_grace=0.5)
+    statuses: Dict[str, str] = {}
+    supervision: Dict[str, int] = {}
+    times: Dict[str, float] = {}
+
+    def record(label: str, res) -> None:
+        statuses[f"{label}/race"] = res.status
+        for sr in res.strategy_results:
+            statuses[f"{label}/{sr.name}"] = sr.status
+        times[label] = round(res.total_time, 4)
+        for key, value in res.supervision_statistics.items():
+            supervision[key] = supervision.get(key, 0) + value
+        supervision[f"{label}_degraded"] = int(res.degraded_to_serial)
+
+    # -- acceptance races: SIGKILL + hang + corrupt, verdict preserved --
+    chaos_cases = {
+        "sharing": (
+            lambda: workloads.sharing_problem(n_apps=scale.get("n_apps", 4)),
+            lambda: [
+                Strategy("monolithic", SynthesisOptions()),
+                Strategy("routes-1", SynthesisOptions(routes=1)),
+                Strategy("routes-2", SynthesisOptions(routes=2)),
+                Strategy("stages-2", SynthesisOptions(routes=3, stages=2)),
+            ],
+            FaultPlan([
+                # routes-1 solves (unsat) fastest and exports its proof
+                # artifacts: corrupting its first frame tests quarantine
+                # on a frame that reliably reaches the pool boundary.
+                FaultSpec(CRASH, strategy="routes-2", attempt=1),
+                FaultSpec(HANG, strategy="stages-2", attempt=1),
+                FaultSpec(CORRUPT, strategy="routes-1", attempt=0, frame=0),
+            ], seed=11),
+        ),
+        "gm": (
+            lambda: workloads.gm_case_study(n_apps=scale.get("gm_apps", 4)),
+            lambda: [
+                # The budgeted monolithic aborts unknown at 150 conflicts
+                # but flushes learned clauses mid-check — the corrupt
+                # target on a sat instance (winners export nothing).
+                Strategy("monolithic", SynthesisOptions(max_conflicts=150)),
+                Strategy("routes-1", SynthesisOptions(routes=1)),
+                Strategy("stages-2", SynthesisOptions(routes=3, stages=2)),
+            ],
+            FaultPlan([
+                FaultSpec(CRASH, strategy="routes-1", attempt=1),
+                FaultSpec(HANG, strategy="stages-2", attempt=1),
+                FaultSpec(CORRUPT, strategy="monolithic", attempt=0, frame=0),
+            ], seed=13),
+        ),
+    }
+    for label, (mk_problem, mk_strategies, plan) in chaos_cases.items():
+        base = synthesize_portfolio(mk_problem(), mk_strategies(),
+                                    timeout=timeout, supervision=policy)
+        statuses[f"{label}/fault_free"] = base.status
+        chaos = synthesize_portfolio(mk_problem(), mk_strategies(),
+                                     timeout=timeout, supervision=policy,
+                                     fault_plan=plan)
+        record(label, chaos)
+        statuses[f"{label}/verdict_preserved"] = (
+            "yes" if chaos.status == base.status
+            and chaos.winner == base.winner else "NO"
+        )
+
+    # -- stall detection: the hung winner must be killed and relaunched --
+    plan = FaultPlan([FaultSpec(HANG, strategy="monolithic", attempt=1)])
+    res = synthesize_portfolio(
+        workloads.sharing_problem(n_apps=scale.get("n_apps", 4)),
+        [Strategy("monolithic", SynthesisOptions())],
+        timeout=timeout, supervision=policy, fault_plan=plan)
+    record("stall", res)
+    statuses["stall/detected"] = (
+        "yes" if res.supervision_statistics.get("stalls_detected", 0) >= 1
+        and res.status == "sat" else "NO"
+    )
+
+    # -- crash-budget exhaustion: degrade to serial, still solve --
+    plan = FaultPlan([FaultSpec(CRASH, strategy="monolithic", attempt=a)
+                      for a in (1, 2, 3)])
+    res = synthesize_portfolio(
+        workloads.sharing_problem(n_apps=scale.get("n_apps", 4)),
+        [Strategy("monolithic", SynthesisOptions())],
+        timeout=timeout, supervision=policy, fault_plan=plan)
+    record("degrade", res)
+    statuses["degrade/degraded_to_serial"] = (
+        "yes" if res.degraded_to_serial and res.status == "sat" else "NO"
+    )
+
+    statuses["supervision/crash_retries_nonzero"] = (
+        "yes" if supervision.get("crash_retries", 0) >= 1 else "NO"
+    )
+    statuses["supervision/quarantine_nonzero"] = (
+        "yes" if supervision.get("quarantined_artifacts", 0) >= 1 else "NO"
+    )
+    for proc in mp.active_children():
+        proc.join(timeout=2.0)
+    statuses["no_leaked_workers"] = (
+        "yes" if not mp.active_children() else "NO"
+    )
+    return {
+        "statuses": statuses,
+        "supervision": supervision,
+        "solve_times": times,
+        "render_digest": _digest(repr(sorted(statuses.items()))),
+    }
+
+
 _RUNNERS: Dict[str, Callable[[dict], dict]] = {
     "table1": _bench_table1,
     "fig3": _bench_fig3,
@@ -388,6 +530,7 @@ _RUNNERS: Dict[str, Callable[[dict], dict]] = {
     "unsat_core": _bench_unsat_core,
     "portfolio": _bench_portfolio,
     "dl_propagation": _bench_dl_propagation,
+    "faults": _bench_faults,
 }
 
 

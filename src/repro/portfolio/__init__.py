@@ -11,6 +11,13 @@ prefixes — through a parent-side knowledge pool.  See
 :mod:`repro.portfolio.engine` for the racing machinery and
 :mod:`repro.portfolio.sharing` for the artifact kinds and their
 soundness arguments.
+
+The race is supervised (``docs/robustness.md``): workers heartbeat,
+silent crashes and stalls are retried with capped backoff
+(:mod:`repro.portfolio.supervision`), malformed artifacts are
+quarantined at the pool boundary, and persistent failures degrade the
+race to the serial backend.  :mod:`repro.portfolio.faults` injects
+deterministic failures to exercise all of it on demand.
 """
 
 from .engine import (
@@ -25,10 +32,15 @@ from .engine import (
     StrategyResult,
     synthesize_portfolio,
 )
-from .sharing import KnowledgePool, SeedKnowledge
+from .faults import FaultPlan, FaultSpec, InjectedCrash, WorkerFaults
+from .sharing import KnowledgePool, SeedKnowledge, validate_artifact
 from .strategies import Strategy, default_portfolio, with_backend, with_restart_schedule
+from .supervision import SupervisionPolicy, Supervisor
 
 __all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrash",
     "KnowledgePool",
     "PortfolioResult",
     "STATUS_CANCELLED",
@@ -41,8 +53,12 @@ __all__ = [
     "SeedKnowledge",
     "Strategy",
     "StrategyResult",
+    "SupervisionPolicy",
+    "Supervisor",
+    "WorkerFaults",
     "default_portfolio",
     "synthesize_portfolio",
+    "validate_artifact",
     "with_backend",
     "with_restart_schedule",
 ]

@@ -21,7 +21,23 @@ stage prefixes, and route-subset vetoes (see
 soundness) — and the parent aggregates them into a
 :class:`~repro.portfolio.sharing.KnowledgePool` that seeds every restart
 attempt and late launch through ``SynthesisOptions.seed_knowledge``, so
-re-runs start warm instead of cold.
+re-runs start warm instead of cold.  Artifacts are validated at the pool
+boundary: a frame that fails validation is quarantined (counted, never
+imported, never fatal).
+
+The race is *supervised* (see :mod:`repro.portfolio.supervision` and
+``docs/robustness.md``): workers heartbeat over the same pipe, a worker
+that dies without reporting (SIGKILL, OOM, a dropped result frame) or
+misses enough heartbeats is relaunched with capped exponential backoff
+up to ``Strategy.max_crash_retries`` times — re-seeded from the pool —
+and a strategy that exhausts that budget degrades the race to the serial
+backend for whatever remains undecided, recording
+``PortfolioResult.degraded_to_serial``.  Worker teardown always
+escalates ``terminate()`` → ``join(grace)`` → ``kill()`` and closes the
+parent's pipe end on every exit path, so a finished race leaks neither
+zombies nor file descriptors.  Deterministic failures can be injected
+with a :mod:`~repro.portfolio.faults` plan to exercise all of this on
+demand.
 
 Results always include one :class:`StrategyResult` per entered strategy,
 so experiment code can attribute wins, losses, and cancellations::
@@ -38,14 +54,18 @@ records and is re-attached to the caller's problem object, so no solver
 state ever crosses the process boundary.  ``backend="serial"`` runs the
 strategies in order in-process (deterministic, used on platforms without
 usable subprocesses and by the ``portfolio`` bench); a failed process
-launch degrades to it automatically.  Knowledge sharing works in both
-backends — serially it flows from each finished strategy into the next.
+launch degrades to it automatically.  Knowledge sharing and crash
+supervision work in both backends — serially, knowledge flows from each
+finished strategy into the next, and a :class:`DeadlineWatchdog` bounds
+native attempts mid-check so the global deadline holds even inside one
+long strategy.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import multiprocessing.connection
+import os
 import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -54,8 +74,11 @@ from ..api import NativeBackend, Session
 from ..core.solution import Solution
 from ..core.synthesizer import MODE_STABILITY, SynthesisResult
 from . import sharing
+from .faults import FaultPlan, InjectedCrash, wrap_emit
 from .sharing import KnowledgePool
 from .strategies import Strategy, default_portfolio
+from .supervision import (DeadlineWatchdog, SupervisionPolicy, Supervisor,
+                          heartbeat_frame)
 
 #: Terminal per-strategy statuses.
 STATUS_SAT = "sat"
@@ -99,6 +122,14 @@ class PortfolioResult:
     deadline), or ``"unknown"`` (every strategy failed heuristically or
     errored — the instance may still be solvable).  ``verdict_by`` names
     the strategy whose result decided the race (None when undecided).
+
+    ``degraded_to_serial`` records graceful degradation: some or all
+    strategies ran on the in-process serial backend because workers
+    could not be spawned or a strategy exhausted its crash-retry budget.
+    ``supervision_statistics`` totals the race's supervision events
+    (crashes, stalls, retries, heartbeats, quarantined artifacts,
+    degradations — zero-filled, see
+    :class:`~repro.portfolio.supervision.Supervisor`).
     """
 
     status: str
@@ -109,6 +140,8 @@ class PortfolioResult:
     verdict_by: Optional[str] = None
     #: Knowledge-pool counters of this race (empty when sharing is off).
     pool_statistics: Dict[str, int] = field(default_factory=dict)
+    degraded_to_serial: bool = False
+    supervision_statistics: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -129,14 +162,17 @@ def synthesize_portfolio(
     timeout: Optional[float] = None,
     backend: str = "process",
     share_knowledge: bool = True,
+    supervision: Optional[SupervisionPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> PortfolioResult:
     """Race ``strategies`` (default: :func:`default_portfolio`) on ``problem``.
 
     Returns the first satisfiable strategy's solution; losers are
     cancelled.  ``timeout`` bounds the race in seconds: the process
     backend enforces it by terminating workers at the deadline, while
-    the serial backend can only check it *between* strategies (a running
-    in-process solve is not preemptible).
+    the serial backend enforces it *mid-strategy* for native attempts
+    (a deadline watchdog interrupts the engine at its next conflict) and
+    between strategies otherwise.
 
     Per-strategy budgets (``Strategy.timeout`` / ``Strategy.restarts``)
     are enforced by the process backend: an attempt is terminated at its
@@ -150,6 +186,12 @@ def synthesize_portfolio(
     prefixes across workers and seeds restarts/late launches with them
     (:mod:`repro.portfolio.sharing`); turn it off for strict isolation
     A/B runs.
+
+    ``supervision`` tunes the robustness layer (heartbeat cadence, stall
+    timeout, crash-retry backoff, kill grace — see
+    :class:`~repro.portfolio.supervision.SupervisionPolicy`);
+    ``fault_plan`` injects deterministic failures for chaos testing
+    (:mod:`repro.portfolio.faults`).
     """
     entries = list(strategies) if strategies is not None else default_portfolio(mode=mode)
     if not entries:
@@ -157,18 +199,21 @@ def synthesize_portfolio(
     names = [s.name for s in entries]
     if len(set(names)) != len(names):
         raise ValueError(f"duplicate strategy names in portfolio: {names}")
+    policy = supervision or SupervisionPolicy()
     if backend == "serial":
-        return _race_serial(problem, entries, timeout, share_knowledge)
+        return _race_serial(problem, entries, timeout, share_knowledge,
+                            policy, fault_plan)
     if backend != "process":
         raise ValueError(f"unknown backend {backend!r} (use 'process' or 'serial')")
     try:
         return _race_processes(problem, entries, max_workers, timeout,
-                               share_knowledge)
+                               share_knowledge, policy, fault_plan)
     except OSError:
         # No subprocess could be launched at all (restricted sandbox):
         # degrade gracefully.  Launch failures *mid-race* are handled
         # inside _race_processes and never reach this fallback.
-        return _race_serial(problem, entries, timeout, share_knowledge)
+        return _race_serial(problem, entries, timeout, share_knowledge,
+                            policy, fault_plan, degraded=True)
 
 
 # ---------------------------------------------------------------------------
@@ -176,15 +221,23 @@ def synthesize_portfolio(
 # ---------------------------------------------------------------------------
 
 
-def _execute_strategy(problem, strategy: Strategy, emit=None) -> dict:
+def _execute_strategy(problem, strategy: Strategy, emit=None,
+                      heartbeat=None, deadline: Optional[float] = None) -> dict:
     """Run one strategy to completion; return its result payload.
 
     ``emit`` (optional) receives knowledge artifacts as they become
     available: frozen stage prefixes while solving, learned clauses and
-    route vetoes on a provable unsat.  Native-backend strategies solve on
-    a locally built engine whose statistics-stream tag carries the
-    strategy name, so benchmark trajectories can attribute per-check work
-    per strategy (``by_backend`` roll-up in ``BENCH_*.json``).
+    route vetoes on a provable unsat.  ``heartbeat`` (optional) is
+    called with the engine at every restart boundary — the worker wires
+    its throttled liveness frames through it.  ``deadline`` (absolute
+    ``perf_counter`` time) arms a :class:`DeadlineWatchdog` over native
+    attempts so an in-process solve is interrupted mid-check when the
+    race's global budget runs out.
+
+    Native-backend strategies solve on a locally built engine whose
+    statistics-stream tag carries the strategy name, so benchmark
+    trajectories can attribute per-check work per strategy
+    (``by_backend`` roll-up in ``BENCH_*.json``).
     """
     from ..core import synthesizer as synth
 
@@ -192,8 +245,11 @@ def _execute_strategy(problem, strategy: Strategy, emit=None) -> dict:
     # solve, artifact export): any failure becomes this strategy's error
     # result instead of sinking the race — the serial backend runs this
     # in-process, so an escaped exception would lose every other entrant.
+    # InjectedCrash is the one deliberate exception: it models a death
+    # that never reports, so it must escape to the supervisor.
     try:
         opts = strategy.options
+        emit = wrap_emit(emit, opts.faults)
         session = engine = None
         if opts.backend == "native":
             # synth.Solver is the patchable engine factory (the
@@ -204,6 +260,9 @@ def _execute_strategy(problem, strategy: Strategy, emit=None) -> dict:
                                   max_conflicts=opts.max_conflicts)
             session = Session(backend=NativeBackend(engine=engine))
             engine.backend_name = f"native[{strategy.name}]"
+            hooks = []
+            if heartbeat is not None:
+                hooks.append(heartbeat)
             if emit is not None:
                 # Mid-check flush: at every SAT restart (and the final
                 # flush of a budget/interrupt abort) stream the current
@@ -212,34 +271,68 @@ def _execute_strategy(problem, strategy: Strategy, emit=None) -> dict:
                 def flush_restart(eng) -> None:
                     for artifact in sharing.restart_artifacts(opts, eng):
                         emit(artifact)
-                engine.on_restart = flush_restart
+                hooks.append(flush_restart)
+            if hooks:
+                def on_restart(eng) -> None:
+                    for hook in hooks:
+                        hook(eng)
+                engine.on_restart = on_restart
         on_event = None
         if emit is not None:
             def on_event(event: dict) -> None:
                 if event.get("kind") == "stage_frozen":
                     emit(sharing.prefix_artifact(opts, event["stage"],
                                                  event["fixed"]))
-        result: SynthesisResult = synth.solve(
-            problem, opts, session=session, on_event=on_event
-        )
+        with DeadlineWatchdog(engine, deadline):
+            result: SynthesisResult = synth.solve(
+                problem, opts, session=session, on_event=on_event
+            )
         if emit is not None:
             for artifact in sharing.terminal_artifacts(opts, result, engine):
                 emit(artifact)
         return _payload_of(result)
+    except InjectedCrash:
+        raise
     except Exception as exc:  # noqa: BLE001 - report, don't sink the race
         return {"status": STATUS_ERROR,
                 "error": f"{type(exc).__name__}: {exc}"}
 
 
-def _strategy_worker(conn, problem, strategy: Strategy,
-                     share: bool = False) -> None:
-    """Run one strategy and stream artifacts + the result summary back."""
+def _strategy_worker(conn, problem, strategy: Strategy, share: bool = False,
+                     policy: Optional[SupervisionPolicy] = None) -> None:
+    """Run one strategy; stream heartbeats, artifacts and the result back."""
+    policy = policy or SupervisionPolicy()
     try:
         emit = None
         if share:
             def emit(artifact: dict) -> None:
                 conn.send({"kind": "artifact", "artifact": artifact})
-        payload = _execute_strategy(problem, strategy, emit)
+
+        # Liveness: one frame at attempt start (before any injected
+        # slow-start/hang, so the stall clock starts from real signal),
+        # then throttled frames from every restart boundary carrying the
+        # engine's progress counters.
+        last_beat = [time.monotonic()]
+        conn.send(heartbeat_frame(strategy.name, {}, phase="start"))
+
+        def heartbeat(eng) -> None:
+            now = time.monotonic()
+            if now - last_beat[0] < policy.heartbeat_interval:
+                return
+            last_beat[0] = now
+            try:
+                conn.send(heartbeat_frame(strategy.name, eng.statistics))
+            except (OSError, ValueError):
+                pass    # parent went away; the solve result still matters
+
+        payload = _execute_strategy(problem, strategy, emit,
+                                    heartbeat=heartbeat)
+        faults = strategy.options.faults
+        if faults is not None and faults.drop_result:
+            # Injected polite death: full solve, no result frame.  Exit
+            # hard so no atexit machinery sends anything on our behalf.
+            conn.close()
+            os._exit(0)
         conn.send({"kind": "result", "payload": payload})
     except Exception as exc:  # noqa: BLE001
         try:
@@ -330,9 +423,36 @@ def _final_verdict(
     return STATUS_UNKNOWN, None
 
 
+def _reap(proc, grace: float) -> None:
+    """Escalated worker teardown: terminate → join(grace) → kill → join.
+
+    Always leaves the process joined (no zombie): a worker that ignores
+    SIGTERM for ``grace`` seconds — e.g. one injected into a hang loop,
+    or wedged in native code — gets SIGKILL, which cannot be ignored.
+    """
+    if proc.is_alive():
+        proc.terminate()
+        proc.join(grace)
+        if proc.is_alive():
+            proc.kill()
+    proc.join()
+
+
 # ---------------------------------------------------------------------------
 # Process racing
 # ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Attempt:
+    """Parent-side state of one running worker attempt."""
+
+    proc: multiprocessing.process.BaseProcess
+    conn: multiprocessing.connection.Connection
+    started: float
+    sdeadline: Optional[float]   # per-strategy deadline (absolute), clamped
+    attempt: int                 # 1-based launch attempt number
+    last_signal: float           # last heartbeat/artifact time (stall clock)
 
 
 def _race_processes(
@@ -341,6 +461,8 @@ def _race_processes(
     max_workers: Optional[int],
     timeout: Optional[float],
     share_knowledge: bool,
+    policy: SupervisionPolicy,
+    fault_plan: Optional[FaultPlan],
 ) -> PortfolioResult:
     ctx = multiprocessing.get_context()
     # Default to racing *every* strategy at once: a portfolio's value is the
@@ -351,13 +473,22 @@ def _race_processes(
     t0 = time.perf_counter()
     deadline = t0 + timeout if timeout is not None else None
     pool = KnowledgePool() if share_knowledge else None
+    supervisor = Supervisor(policy)
 
-    # Launch queue: (idx, strategy, attempt_no).  Attempt 1 uses
-    # strategy.timeout; attempt k>1 uses strategy.restarts[k-2].
-    pending = [(idx, s, 1) for idx, s in enumerate(entries)]
-    running: Dict[int, tuple] = {}  # idx -> (proc, conn, start, sdeadline, attempt)
+    # Launch queue: (idx, strategy, attempt_no, not_before).  Attempt 1
+    # uses strategy.timeout; attempt k>1 uses strategy.restarts[k-2].
+    # ``not_before`` delays crash-retry relaunches (exponential backoff).
+    pending: List[Tuple[int, Strategy, int, float]] = [
+        (idx, s, 1, t0) for idx, s in enumerate(entries)
+    ]
+    running: Dict[int, _Attempt] = {}
     results: Dict[int, StrategyResult] = {}
     spent_wall: Dict[int, float] = {}  # accumulated wall time of dead attempts
+    crash_retries: Dict[int, int] = {}  # crash/stall relaunches granted
+    # Strategies the process backend gave up on: (idx, strategy,
+    # next_attempt).  Run serially after the process race settles.
+    serial_rescue: List[Tuple[int, Strategy, int]] = []
+    degraded = False
     winner_idx: Optional[int] = None
     winner_payload: Optional[dict] = None
     winner_wall = 0.0
@@ -371,8 +502,14 @@ def _race_processes(
         return strategy.restarts[attempt - 2]
 
     def launch_available() -> None:
-        while pending and len(running) < workers:
-            idx, strategy, attempt = pending.pop(0)
+        nonlocal degraded
+        now = time.perf_counter()
+        deferred: List[Tuple[int, Strategy, int, float]] = []
+        while pending and len(running) < workers and not degraded:
+            idx, strategy, attempt, not_before = pending.pop(0)
+            if not_before > now:
+                deferred.append((idx, strategy, attempt, not_before))
+                continue
             launched = strategy
             if pool is not None:
                 # Seed restarts and late launches with everything the
@@ -380,31 +517,36 @@ def _race_processes(
                 seeded = pool.seeded_options(strategy.options)
                 if seeded is not strategy.options:
                     launched = replace(strategy, options=seeded)
+            if fault_plan is not None:
+                injected = fault_plan.for_attempt(strategy.name, attempt,
+                                                  harsh=True)
+                if injected is not None:
+                    launched = replace(
+                        launched,
+                        options=replace(launched.options, faults=injected))
             parent_conn, child_conn = ctx.Pipe(duplex=False)
             proc = ctx.Process(
                 target=_strategy_worker,
-                args=(child_conn, problem, launched, pool is not None),
+                args=(child_conn, problem, launched, pool is not None, policy),
                 name=f"portfolio-{strategy.name}",
                 daemon=True,
             )
             try:
                 proc.start()
-            except OSError as exc:
+            except OSError:
                 parent_conn.close()
                 child_conn.close()
-                if not running and not results:
+                if not running and not results and not serial_rescue:
                     # Nothing launched yet: let the caller fall back to
                     # the serial backend wholesale.
                     raise
                 # Mid-race launch failure (e.g. EAGAIN near the process
-                # limit): record it and keep racing with what we have.
-                results[idx] = StrategyResult(
-                    name=strategy.name,
-                    status=STATUS_ERROR,
-                    wall_time=spent_wall.get(idx, 0.0),
-                    error=f"could not launch worker: {exc}",
-                    attempts=attempt,
-                )
+                # limit): the process backend is no longer trustworthy —
+                # degrade this strategy (and everything still pending)
+                # to the serial phase instead of erroring it out.
+                degraded = True
+                supervisor.note_degraded(strategy.name)
+                serial_rescue.append((idx, strategy, attempt))
                 continue
             child_conn.close()
             started = time.perf_counter()
@@ -413,44 +555,58 @@ def _race_processes(
             sdeadline = started + budget if budget is not None else None
             if deadline is not None:
                 sdeadline = deadline if sdeadline is None else min(sdeadline, deadline)
-            running[idx] = (proc, parent_conn, started, sdeadline, attempt)
+            running[idx] = _Attempt(proc, parent_conn, started, sdeadline,
+                                    attempt, last_signal=started)
+        pending.extend(deferred)
+        if degraded and pending:
+            # Once degraded, stop spawning: everything still queued is
+            # handed to the serial phase.
+            for idx, strategy, attempt, _nb in pending:
+                serial_rescue.append((idx, strategy, attempt))
+            pending.clear()
 
-    def pump(idx: int) -> Optional[dict]:
-        """Drain a worker's queued messages; return its result payload.
+    def pump(idx: int) -> Optional[Tuple[str, object]]:
+        """Drain a worker's queued frames; classify what ended them.
 
-        Knowledge artifacts are absorbed into the pool as they arrive —
-        the worker keeps running.  Returns None while no result has been
-        seen; a broken pipe yields a corpse payload (routed through the
-        validating constructor like any other).
+        Heartbeats refresh the stall clock and feed the supervisor;
+        knowledge artifacts are absorbed into the pool (quarantined when
+        they fail validation) — in both cases the worker keeps running.
+        Returns None while the worker is still going, ``("result",
+        payload)`` when it reported, or ``("died", exitcode)`` on a
+        broken pipe — a death without a result, whatever the exitcode.
         """
-        proc, conn = running[idx][0], running[idx][1]
+        att = running[idx]
+        name = entries[idx].name
         try:
-            while conn.poll():
-                msg = conn.recv()
+            while att.conn.poll():
+                msg = att.conn.recv()
+                if isinstance(msg, dict) and msg.get("kind") == "heartbeat":
+                    att.last_signal = time.perf_counter()
+                    supervisor.note_heartbeat(name, msg)
+                    continue
                 if isinstance(msg, dict) and msg.get("kind") == "artifact":
-                    if pool is not None:
-                        pool.absorb(msg.get("artifact"),
-                                    source=entries[idx].name)
+                    att.last_signal = time.perf_counter()
+                    if pool is not None and not pool.absorb(
+                            msg.get("artifact"), source=name):
+                        supervisor.note_quarantined(name)
                     continue
                 if isinstance(msg, dict) and msg.get("kind") == "result":
-                    return msg.get("payload")
-                return {"status": STATUS_ERROR,
-                        "error": f"malformed worker message: {msg!r:.100}"}
+                    return ("result", msg.get("payload"))
+                # Unknown frame shape: quarantine it, keep listening —
+                # one garbled frame must not cost the whole attempt.
+                supervisor.note_quarantined(name)
         except (EOFError, OSError):
-            return {"status": STATUS_ERROR,
-                    "error": f"worker exited without a result "
-                             f"(exitcode={proc.exitcode})"}
+            return ("died", att.proc.exitcode)
         return None
 
-    def settle(idx: int, state: tuple, payload: dict) -> None:
+    def settle(idx: int, att: _Attempt, payload: dict) -> None:
         """Record one finished attempt's report; track race deciders."""
         nonlocal winner_idx, winner_payload, winner_wall, prover_idx
-        proc, conn, started, _sdeadline, attempt = state
-        wall = spent_wall.get(idx, 0.0) + time.perf_counter() - started
-        conn.close()
-        proc.join()
+        wall = spent_wall.get(idx, 0.0) + time.perf_counter() - att.started
+        att.conn.close()
+        att.proc.join()
         result = _result_from_payload(entries[idx].name, payload, wall,
-                                      attempts=attempt)
+                                      attempts=att.attempt)
         results[idx] = result
         if winner_idx is None and result.status == STATUS_SAT:
             winner_idx, winner_payload, winner_wall = idx, payload, wall
@@ -460,92 +616,165 @@ def _race_processes(
 
     def salvage_artifacts(conn, source: str) -> None:
         """Absorb artifacts a worker streamed before it was terminated."""
-        if pool is None:
-            return
         try:
             while conn.poll():
                 msg = conn.recv()
                 if isinstance(msg, dict) and msg.get("kind") == "artifact":
-                    pool.absorb(msg.get("artifact"), source=source)
+                    if pool is not None and not pool.absorb(
+                            msg.get("artifact"), source=source):
+                        supervisor.note_quarantined(source)
         except (EOFError, OSError):
             pass
+
+    def harvest(idx: int) -> bool:
+        """Settle or bury a worker whose pipe has something; False = alive."""
+        outcome = pump(idx)
+        if outcome is None:
+            return False
+        kind, value = outcome
+        att = running.pop(idx)
+        if kind == "result":
+            settle(idx, att, value)
+        else:
+            attempt_died(idx, att, stalled=False)
+        return True
+
+    def attempt_died(idx: int, att: _Attempt, stalled: bool) -> None:
+        """Supervise a crash/stall: reap, then retry, or degrade."""
+        nonlocal degraded
+        strategy = entries[idx]
+        name = strategy.name
+        salvage_artifacts(att.conn, name)
+        _reap(att.proc, policy.kill_grace)
+        att.conn.close()
+        now = time.perf_counter()
+        spent_wall[idx] = spent_wall.get(idx, 0.0) + now - att.started
+        if stalled:
+            supervisor.note_stall(name)
+        else:
+            supervisor.note_crash(name)
+        used = crash_retries.get(idx, 0)
+        if used < strategy.max_crash_retries and (
+                deadline is None or now < deadline):
+            crash_retries[idx] = used + 1
+            supervisor.note_retry(name)
+            # Relaunch after capped exponential backoff; the launch path
+            # re-seeds the attempt from the knowledge pool.
+            not_before = now + policy.backoff(used + 1)
+            if deadline is not None:
+                not_before = min(not_before, deadline)
+            pending.append((idx, strategy, att.attempt + 1, not_before))
+            return
+        # Crash budget exhausted: the process backend is persistently
+        # failing this strategy — degrade to the serial fallback (which
+        # also stops further spawns; a systemic fault like OOM pressure
+        # would only grind every remaining launch through the same
+        # budget).
+        supervisor.note_exhausted(name)
+        supervisor.note_degraded(name)
+        degraded = True
+        serial_rescue.append((idx, strategy, att.attempt + 1))
 
     def expire(idx: int, now: float) -> None:
         """Kill an attempt at its per-strategy deadline; maybe re-queue."""
         # A result may have landed after the last connection.wait(): honor
         # it (it could be the winning sat) instead of discarding it.
-        payload = pump(idx)
-        if payload is not None:
-            settle(idx, running.pop(idx), payload)
+        if harvest(idx):
             return
-        proc, conn, started, _sdeadline, attempt = running.pop(idx)
-        proc.terminate()
-        proc.join()
-        salvage_artifacts(conn, entries[idx].name)
-        conn.close()
-        spent_wall[idx] = spent_wall.get(idx, 0.0) + now - started
+        att = running.pop(idx)
+        salvage_artifacts(att.conn, entries[idx].name)
+        _reap(att.proc, policy.kill_grace)
+        att.conn.close()
+        spent_wall[idx] = spent_wall.get(idx, 0.0) + now - att.started
         strategy = entries[idx]
-        has_budget = attempt - 1 < len(strategy.restarts)
+        has_budget = att.attempt - 1 < len(strategy.restarts)
         global_open = deadline is None or now < deadline
         if has_budget and global_open:
-            pending.append((idx, strategy, attempt + 1))
+            pending.append((idx, strategy, att.attempt + 1, now))
         else:
             results[idx] = StrategyResult(
                 name=strategy.name,
                 status=STATUS_TIMEOUT,
                 wall_time=spent_wall[idx],
-                attempts=attempt,
+                attempts=att.attempt,
             )
 
     launch_available()
     timed_out = False
-    while running and winner_idx is None and prover_idx is None:
+    while (running or pending) and winner_idx is None and prover_idx is None:
         now = time.perf_counter()
+        if deadline is not None and now >= deadline:
+            timed_out = True
+            break
         wait_for = 0.1
         if deadline is not None:
             wait_for = min(wait_for, max(0.0, deadline - now))
-        for _, _, _, sdeadline, _ in running.values():
-            if sdeadline is not None:
-                wait_for = min(wait_for, max(0.0, sdeadline - now))
-        ready = multiprocessing.connection.wait(
-            [conn for _, conn, _, _, _ in running.values()], timeout=wait_for
-        )
-        ready_set = set(ready)
-        # Harvest *every* ready worker before declaring the race over, so
-        # strategies that finished in the same poll window report their
-        # real status instead of being miscounted as cancelled (the
-        # winner is still the first sat in launch order).
-        for idx in sorted(running):
-            if running[idx][1] in ready_set:
-                payload = pump(idx)
-                if payload is not None:
-                    settle(idx, running.pop(idx), payload)
+        for att in running.values():
+            if att.sdeadline is not None:
+                wait_for = min(wait_for, max(0.0, att.sdeadline - now))
+            if policy.stall_timeout is not None:
+                wait_for = min(wait_for, max(
+                    0.0, att.last_signal + policy.stall_timeout - now))
+        for _idx, _s, _a, not_before in pending:
+            wait_for = min(wait_for, max(0.0, not_before - now))
+        if running:
+            ready = multiprocessing.connection.wait(
+                [att.conn for att in running.values()], timeout=wait_for
+            )
+            ready_set = set(ready)
+            # Harvest *every* ready worker before declaring the race
+            # over, so strategies that finished in the same poll window
+            # report their real status instead of being miscounted as
+            # cancelled (the winner is still the first sat in launch
+            # order).
+            for idx in sorted(running):
+                if idx in running and running[idx].conn in ready_set:
+                    harvest(idx)
+        elif wait_for > 0:
+            # Nothing running — only backoff-delayed relaunches queued.
+            time.sleep(wait_for)
         now = time.perf_counter()
         if deadline is not None and now >= deadline:
             timed_out = True
             break
         if winner_idx is not None or prover_idx is not None:
             break
+        # Stall detection: a worker silent past the timeout is dead to
+        # us even if the process is technically alive (hung in native
+        # code, swapping, or fault-injected into a sleep loop).
+        if policy.stall_timeout is not None:
+            for idx in sorted(running):
+                if idx not in running:
+                    continue
+                att = running[idx]
+                if now - att.last_signal >= policy.stall_timeout:
+                    if not harvest(idx):
+                        attempt_died(idx, running.pop(idx), stalled=True)
         # Enforce per-strategy deadlines (restart schedule re-queues).
         for idx in sorted(running):
-            sdeadline = running[idx][3]
-            if sdeadline is not None and now >= sdeadline:
+            if idx not in running:
+                continue
+            att = running[idx]
+            if att.sdeadline is not None and now >= att.sdeadline:
                 expire(idx, now)
         launch_available()
 
     # Race over: stop whoever is still working and account for everyone.
+    # Losers' queued artifacts are salvaged first — a cancelled worker's
+    # mid-check exports are still knowledge (and still validated).
     loser_status = STATUS_TIMEOUT if timed_out else STATUS_CANCELLED
-    for idx, (proc, conn, started, _sdeadline, attempt) in list(running.items()):
-        proc.terminate()
-        proc.join()
-        conn.close()
+    for idx, att in list(running.items()):
+        salvage_artifacts(att.conn, entries[idx].name)
+        _reap(att.proc, policy.kill_grace)
+        att.conn.close()
         results[idx] = StrategyResult(
             name=entries[idx].name,
             status=loser_status,
-            wall_time=spent_wall.get(idx, 0.0) + time.perf_counter() - started,
-            attempts=attempt,
+            wall_time=spent_wall.get(idx, 0.0) + time.perf_counter() - att.started,
+            attempts=att.attempt,
         )
-    for idx, strategy, attempt in pending:
+    running.clear()
+    for idx, strategy, attempt, _nb in pending:
         if idx in results:
             continue
         results[idx] = StrategyResult(
@@ -555,12 +784,59 @@ def _race_processes(
             attempts=attempt - 1 if attempt > 1 else 1,
         )
 
+    # Graceful degradation: strategies the process backend gave up on
+    # (crash budget exhausted, or spawn failures) get one supervised
+    # serial pass — but only while the race is still undecided and the
+    # global deadline open.
+    decided = winner_idx is not None or prover_idx is not None
+    used_serial = False
+    for idx, strategy, attempt in serial_rescue:
+        if idx in results:
+            continue
+        now = time.perf_counter()
+        if decided:
+            results[idx] = StrategyResult(
+                name=strategy.name,
+                status=STATUS_TIMEOUT if timed_out else STATUS_CANCELLED,
+                wall_time=spent_wall.get(idx, 0.0),
+                attempts=max(1, attempt - 1),
+            )
+            continue
+        if timed_out or (deadline is not None and now >= deadline):
+            timed_out = True
+            results[idx] = StrategyResult(
+                name=strategy.name,
+                status=STATUS_TIMEOUT,
+                wall_time=spent_wall.get(idx, 0.0),
+                attempts=max(1, attempt - 1),
+            )
+            continue
+        used_serial = True
+        result, payload = _run_serial_strategy(
+            problem, strategy, deadline, pool, supervisor, policy,
+            fault_plan, first_attempt=attempt,
+            prior_wall=spent_wall.get(idx, 0.0))
+        results[idx] = result
+        if result.status == STATUS_SAT and winner_idx is None:
+            winner_idx, winner_payload = idx, payload
+            winner_wall = result.wall_time
+            decided = True
+        elif result.status == STATUS_UNSAT and strategy.is_complete:
+            prover_idx = idx
+            decided = True
+        elif result.status == STATUS_TIMEOUT:
+            timed_out = True
+
     total = time.perf_counter() - t0
     solution = (
         _solution_from_payload(problem, winner_payload, winner_wall)
         if winner_payload is not None
         else None
     )
+    for idx, sr in results.items():
+        extra = supervisor.strategy_statistics(entries[idx].name)
+        if extra:
+            sr.statistics = {**sr.statistics, **extra}
     ordered = [results[i] for i in sorted(results)]
     winner_name = entries[winner_idx].name if winner_idx is not None else None
     status, verdict_by = _final_verdict(entries, ordered, winner_name,
@@ -573,12 +849,97 @@ def _race_processes(
         strategy_results=ordered,
         verdict_by=verdict_by,
         pool_statistics=pool.statistics if pool is not None else {},
+        degraded_to_serial=used_serial,
+        supervision_statistics=supervisor.statistics,
     )
 
 
 # ---------------------------------------------------------------------------
-# Serial fallback
+# Serial racing (fallback backend and degradation target)
 # ---------------------------------------------------------------------------
+
+
+def _run_serial_strategy(
+    problem,
+    strategy: Strategy,
+    deadline: Optional[float],
+    pool: Optional[KnowledgePool],
+    supervisor: Supervisor,
+    policy: SupervisionPolicy,
+    fault_plan: Optional[FaultPlan],
+    first_attempt: int = 1,
+    prior_wall: float = 0.0,
+) -> Tuple[StrategyResult, Optional[dict]]:
+    """One strategy's supervised in-process run (with crash retries).
+
+    The serial twin of a worker process plus its parent-side supervisor:
+    an attempt that raises :class:`InjectedCrash` (or drops its result)
+    is retried with the same capped-backoff schedule, re-seeded from the
+    pool, up to ``strategy.max_crash_retries`` times.  Native attempts
+    run under a :class:`DeadlineWatchdog`, so the global deadline is
+    enforced *mid-strategy*: an interrupted solve answers ``unknown``
+    and is reported here as ``timeout``.
+    """
+    name = strategy.name
+    attempt = first_attempt
+    crashes_used = 0
+    wall = prior_wall
+    while True:
+        run = strategy
+        emit = None
+        if pool is not None:
+            seeded = pool.seeded_options(strategy.options)
+            if seeded is not strategy.options:
+                run = replace(strategy, options=seeded)
+
+            def emit(artifact: dict, _name=name) -> None:
+                if not pool.absorb(artifact, source=_name):
+                    supervisor.note_quarantined(_name)
+        if fault_plan is not None:
+            injected = fault_plan.for_attempt(name, attempt, harsh=False)
+            if injected is not None:
+                run = replace(run, options=replace(run.options,
+                                                   faults=injected))
+        started = time.perf_counter()
+        payload: Optional[dict] = None
+        crashed = False
+        try:
+            payload = _execute_strategy(problem, run, emit, deadline=deadline)
+        except InjectedCrash:
+            crashed = True
+        wall += time.perf_counter() - started
+        if not crashed and run.options.faults is not None \
+                and run.options.faults.drop_result:
+            payload = None  # the result frame never arrives
+            crashed = True
+        if crashed:
+            supervisor.note_crash(name)
+            now = time.perf_counter()
+            if crashes_used < strategy.max_crash_retries and (
+                    deadline is None or now < deadline):
+                crashes_used += 1
+                supervisor.note_retry(name)
+                delay = policy.backoff(crashes_used)
+                if deadline is not None:
+                    delay = min(delay, max(0.0, deadline - now))
+                if delay:
+                    time.sleep(delay)
+                attempt += 1
+                continue
+            supervisor.note_exhausted(name)
+            payload = {
+                "status": STATUS_ERROR,
+                "error": (f"crashed on every attempt "
+                          f"({crashes_used + 1} tried, "
+                          f"{strategy.max_crash_retries} retries allowed)"),
+            }
+        result = _result_from_payload(name, payload, wall, attempts=attempt)
+        if (result.status == STATUS_UNKNOWN and deadline is not None
+                and time.perf_counter() >= deadline):
+            # The watchdog interrupted this attempt mid-check: that
+            # unknown is really the race's deadline expiring.
+            result.status = STATUS_TIMEOUT
+        return result, payload
 
 
 def _race_serial(
@@ -586,7 +947,12 @@ def _race_serial(
     entries: List[Strategy],
     timeout: Optional[float],
     share_knowledge: bool = True,
+    policy: Optional[SupervisionPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    degraded: bool = False,
 ) -> PortfolioResult:
+    policy = policy or SupervisionPolicy()
+    supervisor = Supervisor(policy)
     t0 = time.perf_counter()
     deadline = t0 + timeout if timeout is not None else None
     pool = KnowledgePool() if share_knowledge else None
@@ -604,27 +970,23 @@ def _race_serial(
             timed_out = True
             results.append(StrategyResult(strategy.name, STATUS_TIMEOUT, 0.0))
             continue
-        run = strategy
-        emit = None
-        if pool is not None:
-            seeded = pool.seeded_options(strategy.options)
-            if seeded is not strategy.options:
-                run = replace(strategy, options=seeded)
-
-            def emit(artifact: dict, _name=strategy.name) -> None:
-                pool.absorb(artifact, source=_name)
-        started = time.perf_counter()
-        payload = _execute_strategy(problem, run, emit)
-        wall = time.perf_counter() - started
-        result = _result_from_payload(strategy.name, payload, wall)
+        result, payload = _run_serial_strategy(
+            problem, strategy, deadline, pool, supervisor, policy, fault_plan)
         results.append(result)
+        if result.status == STATUS_TIMEOUT:
+            timed_out = True
         if result.status == STATUS_SAT and winner is None:
             winner = strategy.name
-            solution = _solution_from_payload(problem, payload, wall)
+            solution = _solution_from_payload(problem, payload,
+                                              result.wall_time)
             decided = True
         elif result.status == STATUS_UNSAT and strategy.is_complete:
             decided = True  # a proof: nothing left to race for
 
+    for sr in results:
+        extra = supervisor.strategy_statistics(sr.name)
+        if extra:
+            sr.statistics = {**sr.statistics, **extra}
     status, verdict_by = _final_verdict(entries, results, winner, timed_out)
     return PortfolioResult(
         status=status,
@@ -634,4 +996,6 @@ def _race_serial(
         strategy_results=results,
         verdict_by=verdict_by,
         pool_statistics=pool.statistics if pool is not None else {},
+        degraded_to_serial=degraded,
+        supervision_statistics=supervisor.statistics,
     )

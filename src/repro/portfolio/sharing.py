@@ -276,6 +276,80 @@ def restart_artifacts(options, engine) -> List[dict]:
 
 
 # ---------------------------------------------------------------------------
+# Pool-boundary validation (artifact quarantine)
+# ---------------------------------------------------------------------------
+
+
+def _valid_literal(lit) -> bool:
+    if not isinstance(lit, tuple) or not lit:
+        return False
+    if lit[0] == "b":
+        return len(lit) == 3 and isinstance(lit[1], str)
+    if lit[0] == "a":
+        return (len(lit) == 5
+                and isinstance(lit[1], tuple)
+                and all(isinstance(pair, tuple) and len(pair) == 2
+                        and isinstance(pair[0], str) and isinstance(pair[1], str)
+                        for pair in lit[1])
+                and isinstance(lit[2], str))
+    return False
+
+
+def validate_artifact(artifact) -> Optional[str]:
+    """Why ``artifact`` must be quarantined, or None when it is sound.
+
+    This is the pool-boundary gate: artifacts arrive over a pipe from
+    workers that may be fault-injected, dying mid-``send``, or running
+    a different code revision, so *everything* a seeded worker would
+    later deserialize is shape-checked here.  A rejected frame is
+    counted and dropped — it never reaches the race.
+    """
+    if not isinstance(artifact, dict):
+        return f"not a dict: {type(artifact).__name__}"
+    kind = artifact.get("kind")
+    if kind not in ("clauses", "veto", "prefix"):
+        return f"unknown artifact kind {kind!r}"
+    if not isinstance(artifact.get("signature"), StrategySignature):
+        return "missing/invalid strategy signature"
+    if kind == "clauses":
+        clauses = artifact.get("clauses")
+        if not isinstance(clauses, tuple):
+            return "clauses payload is not a tuple"
+        for clause in clauses:
+            if not isinstance(clause, tuple) or not clause:
+                return f"malformed clause {clause!r:.60}"
+            if not all(_valid_literal(lit) for lit in clause):
+                return f"malformed literal in clause {clause!r:.60}"
+    elif kind == "veto":
+        limits = artifact.get("limits")
+        if not isinstance(limits, tuple) or not limits:
+            return "veto without limits"
+        for entry in limits:
+            if (not isinstance(entry, tuple) or len(entry) != 2
+                    or not isinstance(entry[0], str)
+                    or not isinstance(entry[1], int) or entry[1] < 0):
+                return f"malformed veto limit {entry!r:.60}"
+    elif kind == "prefix":
+        if not isinstance(artifact.get("stages_completed"), int):
+            return "prefix without a stage count"
+        messages = artifact.get("messages")
+        if not isinstance(messages, tuple):
+            return "prefix messages payload is not a tuple"
+        for msg in messages:
+            if (not isinstance(msg, tuple) or len(msg) != 3
+                    or not isinstance(msg[0], str)
+                    or not isinstance(msg[1], tuple)
+                    or not all(isinstance(node, str) for node in msg[1])
+                    or not isinstance(msg[2], tuple)
+                    or not all(isinstance(g, tuple) and len(g) == 2
+                               and isinstance(g[0], str)
+                               and isinstance(g[1], str)
+                               for g in msg[2])):
+                return f"malformed prefix message {msg!r:.60}"
+    return None
+
+
+# ---------------------------------------------------------------------------
 # Parent-side pool
 # ---------------------------------------------------------------------------
 
@@ -299,16 +373,23 @@ class KnowledgePool:
             "vetoes_pooled": 0,
             "prefixes_pooled": 0,
             "seeds_served": 0,
+            "quarantined_artifacts": 0,
         }
 
-    def absorb(self, artifact: Optional[dict], source: str = "") -> None:
-        """Fold one worker artifact into the pool (ignores malformed)."""
-        if not isinstance(artifact, dict):
-            return
+    def absorb(self, artifact: Optional[dict], source: str = "") -> bool:
+        """Fold one worker artifact into the pool.
+
+        Every frame passes :func:`validate_artifact` first; a malformed
+        or fault-injected frame is *quarantined* — counted in
+        ``quarantined_artifacts`` and dropped, never raised into the
+        race and never imported by a seeded worker.  Returns whether the
+        artifact was accepted.
+        """
+        if validate_artifact(artifact) is not None:
+            self.counters["quarantined_artifacts"] += 1
+            return False
         kind = artifact.get("kind")
         sig = artifact.get("signature")
-        if not isinstance(sig, StrategySignature):
-            return
         if kind == "clauses":
             bucket = self._clauses.setdefault(sig, {})
             fresh = 0
@@ -337,6 +418,7 @@ class KnowledgePool:
                     messages=tuple(artifact.get("messages", ())),
                 )
                 self.counters["prefixes_pooled"] += 1
+        return True
 
     def seed_for(self, options) -> Optional[SeedKnowledge]:
         """The knowledge bundle for an attempt about to run ``options``."""

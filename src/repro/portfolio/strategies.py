@@ -36,12 +36,20 @@ class Strategy:
     worker pool probe every strategy quickly; the schedule revisits slow
     ones with growing budgets only if nothing has won yet — all attempts
     stay clamped to the global deadline (deadline-aware racing).
+
+    ``max_crash_retries`` bounds a different failure mode: an attempt
+    that *dies without reporting* (SIGKILL/OOM, a dropped result frame)
+    or is killed for missed heartbeats is relaunched — re-seeded from
+    the race's knowledge pool, after capped exponential backoff — up to
+    this many times before the strategy is declared crash-exhausted and
+    handed to the serial fallback (see ``docs/robustness.md``).
     """
 
     name: str
     options: SynthesisOptions
     timeout: Optional[float] = None
     restarts: Tuple[float, ...] = ()
+    max_crash_retries: int = 2
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -58,6 +66,8 @@ class Strategy:
         # until the schedule drains without ever giving the solver time.
         if any(budget is None or budget <= 0 for budget in self.restarts):
             raise ValueError("restart budgets must all be positive")
+        if self.max_crash_retries < 0:
+            raise ValueError("max_crash_retries must be >= 0")
 
     @property
     def is_complete(self) -> bool:
