@@ -452,6 +452,7 @@ class _Attempt:
     started: float
     sdeadline: Optional[float]   # per-strategy deadline (absolute), clamped
     attempt: int                 # 1-based launch attempt number
+    sched: int                   # 1-based restart-schedule position
     last_signal: float           # last heartbeat/artifact time (stall clock)
 
 
@@ -475,11 +476,16 @@ def _race_processes(
     pool = KnowledgePool() if share_knowledge else None
     supervisor = Supervisor(policy)
 
-    # Launch queue: (idx, strategy, attempt_no, not_before).  Attempt 1
-    # uses strategy.timeout; attempt k>1 uses strategy.restarts[k-2].
-    # ``not_before`` delays crash-retry relaunches (exponential backoff).
-    pending: List[Tuple[int, Strategy, int, float]] = [
-        (idx, s, 1, t0) for idx, s in enumerate(entries)
+    # Launch queue: (idx, strategy, attempt_no, sched_no, not_before).
+    # ``attempt_no`` counts every launch (accounting, fault targeting);
+    # ``sched_no`` is the position in the per-strategy budget schedule
+    # (1 = strategy.timeout, k>1 = restarts[k-2]) and only advances on
+    # budget expiry — a crash retry relaunches with the budget the dead
+    # attempt had, so crashes neither consume schedule entries nor run
+    # off the end of ``restarts``.  ``not_before`` delays crash-retry
+    # relaunches (exponential backoff).
+    pending: List[Tuple[int, Strategy, int, int, float]] = [
+        (idx, s, 1, 1, t0) for idx, s in enumerate(entries)
     ]
     running: Dict[int, _Attempt] = {}
     results: Dict[int, StrategyResult] = {}
@@ -494,21 +500,29 @@ def _race_processes(
     winner_wall = 0.0
     prover_idx: Optional[int] = None  # complete strategy that proved unsat
 
-    def attempt_budget(strategy: Strategy, attempt: int) -> Optional[float]:
+    def attempt_budget(strategy: Strategy, sched: int) -> Optional[float]:
         if strategy.timeout is None:
             return None
-        if attempt == 1:
+        if sched == 1 or not strategy.restarts:
             return strategy.timeout
-        return strategy.restarts[attempt - 2]
+        # Clamped defensively: a relaunch queued past the schedule keeps
+        # the last budget instead of indexing off the end.
+        return strategy.restarts[min(sched - 2, len(strategy.restarts) - 1)]
+
+    def emits_heartbeats(idx: int) -> bool:
+        # Only the native backend wires the on_restart heartbeat hook;
+        # a worker on any other backend sends just its start frame, so
+        # silence there is not evidence of a stall.
+        return entries[idx].options.backend == "native"
 
     def launch_available() -> None:
         nonlocal degraded
         now = time.perf_counter()
-        deferred: List[Tuple[int, Strategy, int, float]] = []
+        deferred: List[Tuple[int, Strategy, int, int, float]] = []
         while pending and len(running) < workers and not degraded:
-            idx, strategy, attempt, not_before = pending.pop(0)
+            idx, strategy, attempt, sched, not_before = pending.pop(0)
             if not_before > now:
-                deferred.append((idx, strategy, attempt, not_before))
+                deferred.append((idx, strategy, attempt, sched, not_before))
                 continue
             launched = strategy
             if pool is not None:
@@ -550,18 +564,18 @@ def _race_processes(
                 continue
             child_conn.close()
             started = time.perf_counter()
-            budget = attempt_budget(strategy, attempt)
+            budget = attempt_budget(strategy, sched)
             # Per-strategy deadline, clamped to the global one.
             sdeadline = started + budget if budget is not None else None
             if deadline is not None:
                 sdeadline = deadline if sdeadline is None else min(sdeadline, deadline)
             running[idx] = _Attempt(proc, parent_conn, started, sdeadline,
-                                    attempt, last_signal=started)
+                                    attempt, sched, last_signal=started)
         pending.extend(deferred)
         if degraded and pending:
             # Once degraded, stop spawning: everything still queued is
             # handed to the serial phase.
-            for idx, strategy, attempt, _nb in pending:
+            for idx, strategy, attempt, _sched, _nb in pending:
                 serial_rescue.append((idx, strategy, attempt))
             pending.clear()
 
@@ -659,11 +673,15 @@ def _race_processes(
             crash_retries[idx] = used + 1
             supervisor.note_retry(name)
             # Relaunch after capped exponential backoff; the launch path
-            # re-seeds the attempt from the knowledge pool.
+            # re-seeds the attempt from the knowledge pool.  The retry
+            # keeps the dead attempt's schedule position (``att.sched``):
+            # a crash is not a budget expiry, so it must neither consume
+            # a restart-schedule entry nor index past the schedule.
             not_before = now + policy.backoff(used + 1)
             if deadline is not None:
                 not_before = min(not_before, deadline)
-            pending.append((idx, strategy, att.attempt + 1, not_before))
+            pending.append((idx, strategy, att.attempt + 1, att.sched,
+                            not_before))
             return
         # Crash budget exhausted: the process backend is persistently
         # failing this strategy — degrade to the serial fallback (which
@@ -687,10 +705,11 @@ def _race_processes(
         att.conn.close()
         spent_wall[idx] = spent_wall.get(idx, 0.0) + now - att.started
         strategy = entries[idx]
-        has_budget = att.attempt - 1 < len(strategy.restarts)
+        has_budget = att.sched - 1 < len(strategy.restarts)
         global_open = deadline is None or now < deadline
         if has_budget and global_open:
-            pending.append((idx, strategy, att.attempt + 1, now))
+            pending.append((idx, strategy, att.attempt + 1, att.sched + 1,
+                            now))
         else:
             results[idx] = StrategyResult(
                 name=strategy.name,
@@ -709,13 +728,13 @@ def _race_processes(
         wait_for = 0.1
         if deadline is not None:
             wait_for = min(wait_for, max(0.0, deadline - now))
-        for att in running.values():
+        for idx, att in running.items():
             if att.sdeadline is not None:
                 wait_for = min(wait_for, max(0.0, att.sdeadline - now))
-            if policy.stall_timeout is not None:
+            if policy.stall_timeout is not None and emits_heartbeats(idx):
                 wait_for = min(wait_for, max(
                     0.0, att.last_signal + policy.stall_timeout - now))
-        for _idx, _s, _a, not_before in pending:
+        for _idx, _s, _a, _sc, not_before in pending:
             wait_for = min(wait_for, max(0.0, not_before - now))
         if running:
             ready = multiprocessing.connection.wait(
@@ -741,10 +760,12 @@ def _race_processes(
             break
         # Stall detection: a worker silent past the timeout is dead to
         # us even if the process is technically alive (hung in native
-        # code, swapping, or fault-injected into a sleep loop).
+        # code, swapping, or fault-injected into a sleep loop).  Only
+        # heartbeat-capable (native-backend) workers are eligible — on
+        # any other backend silence is the norm, not a stall.
         if policy.stall_timeout is not None:
             for idx in sorted(running):
-                if idx not in running:
+                if idx not in running or not emits_heartbeats(idx):
                     continue
                 att = running[idx]
                 if now - att.last_signal >= policy.stall_timeout:
@@ -758,6 +779,17 @@ def _race_processes(
             if att.sdeadline is not None and now >= att.sdeadline:
                 expire(idx, now)
         launch_available()
+
+    if timed_out:
+        # The deadline break above fires before draining ready pipes: a
+        # result a worker sent just before the deadline still decides
+        # the race (consistent with expire()), so give every running
+        # worker one final non-blocking pump before reaping the rest as
+        # timeouts.
+        for idx in sorted(running):
+            outcome = pump(idx)
+            if outcome is not None and outcome[0] == "result":
+                settle(idx, running.pop(idx), outcome[1])
 
     # Race over: stop whoever is still working and account for everyone.
     # Losers' queued artifacts are salvaged first — a cancelled worker's
@@ -774,12 +806,21 @@ def _race_processes(
             attempts=att.attempt,
         )
     running.clear()
-    for idx, strategy, attempt, _nb in pending:
+    for idx, strategy, attempt, _sched, _nb in pending:
         if idx in results:
             continue
+        # A queued strategy only "timed out" if the race did; one parked
+        # on a crash-retry backoff when the race was decided lost it
+        # (cancelled), and one never launched at all was skipped.
+        if timed_out:
+            queued_status = STATUS_TIMEOUT
+        elif attempt > 1:
+            queued_status = STATUS_CANCELLED
+        else:
+            queued_status = STATUS_SKIPPED
         results[idx] = StrategyResult(
             name=strategy.name,
-            status=STATUS_TIMEOUT if (timed_out or attempt > 1) else STATUS_SKIPPED,
+            status=queued_status,
             wall_time=spent_wall.get(idx, 0.0),
             attempts=attempt - 1 if attempt > 1 else 1,
         )

@@ -10,7 +10,10 @@ survives rude deaths — see ``docs/robustness.md`` for the full protocol:
   ``heartbeat_interval``), carrying the conflict/propagation counters,
   plus one frame at attempt start.  The parent timestamps them; a
   worker silent for longer than ``stall_timeout`` (when set) is
-  declared stalled and killed.
+  declared stalled and killed.  Only native-backend strategies are
+  eligible — no other backend wires the ``on_restart`` hook, so their
+  workers heartbeat only once at start and the engine exempts them
+  from stall detection (deadlines still bound them).
 * **Crash retry with backoff** — a worker that dies without a result
   (SIGKILL, OOM, a dropped result frame) or stalls is relaunched up to
   ``Strategy.max_crash_retries`` times, with capped exponential backoff

@@ -199,6 +199,73 @@ class TestCrashSupervision:
         assert res.supervision_statistics["crash_budget_exhausted"] >= 2
         assert_no_leaked_workers()
 
+    def test_crash_with_empty_restart_schedule_is_retried(self):
+        # Regression: crash retries must not advance the restart-schedule
+        # position — a crash with ``timeout`` set and ``restarts=()``
+        # used to index past the schedule and crash the whole race.
+        plan = FaultPlan([FaultSpec(CRASH, strategy="monolithic", attempt=1)])
+        strategies = [Strategy("monolithic", SynthesisOptions(),
+                               timeout=60.0)]
+        res = synthesize_portfolio(sharing_problem(), strategies, timeout=60,
+                                   supervision=FAST, fault_plan=plan)
+        assert res.status == "sat"
+        assert res.result_for("monolithic").attempts == 2
+        assert res.supervision_statistics["crash_retries"] == 1
+        assert not res.degraded_to_serial
+        assert_no_leaked_workers()
+
+    def test_crash_retry_keeps_budget_after_schedule_rerun(self):
+        # timeout=0 expires attempt 1 instantly; the schedule grants one
+        # more budget; a crash on that rerun is relaunched with the same
+        # (last) budget instead of consuming a nonexistent third entry.
+        plan = FaultPlan([FaultSpec(CRASH, strategy="monolithic", attempt=2)])
+        strategies = [Strategy("monolithic", SynthesisOptions(),
+                               timeout=0.0, restarts=(120.0,))]
+        res = synthesize_portfolio(sharing_problem(), strategies, timeout=60,
+                                   supervision=FAST, fault_plan=plan)
+        assert res.status == "sat"
+        assert res.result_for("monolithic").attempts == 3
+        assert res.supervision_statistics["crash_retries"] == 1
+        assert_no_leaked_workers()
+
+    def test_crash_backoff_loser_is_cancelled_not_timeout(self):
+        # A strategy parked on crash-retry backoff when another strategy
+        # wins lost the race — it must not be labeled "timeout" (the
+        # race didn't time out), which would skew _final_verdict.
+        parked = SupervisionPolicy(heartbeat_interval=0.02,
+                                   backoff_base=30.0, backoff_cap=30.0,
+                                   kill_grace=0.3)
+        plan = FaultPlan([FaultSpec(CRASH, strategy="crasher", attempt=0)])
+        strategies = [
+            Strategy("monolithic", SynthesisOptions()),
+            Strategy("crasher", SynthesisOptions(routes=1)),
+        ]
+        res = synthesize_portfolio(sharing_problem(), strategies, timeout=60,
+                                   supervision=parked, fault_plan=plan)
+        assert res.status == "sat"
+        assert res.winner == "monolithic"
+        assert res.result_for("crasher").status == "cancelled"
+        assert_no_leaked_workers()
+
+    def test_non_native_backend_is_exempt_from_stall_detection(self):
+        # Only native-backend workers heartbeat (the on_restart hook);
+        # a serialization-backend worker quiet past stall_timeout is
+        # working, not stalled, and must not be killed.
+        policy = SupervisionPolicy(heartbeat_interval=0.02,
+                                   stall_timeout=0.15, backoff_base=0.01,
+                                   backoff_cap=0.05, kill_grace=0.3)
+        plan = FaultPlan([FaultSpec(SLOW_START, strategy="ser",
+                                    attempt=0, delay=0.5)])
+        strategies = [Strategy("ser",
+                               SynthesisOptions(backend="serialization"))]
+        res = synthesize_portfolio(sharing_problem(), strategies, timeout=60,
+                                   supervision=policy, fault_plan=plan)
+        assert res.status == "sat"
+        assert res.supervision_statistics["stalls_detected"] == 0
+        assert res.result_for("ser").attempts == 1
+        assert not res.degraded_to_serial
+        assert_no_leaked_workers()
+
     def test_slow_start_is_not_mistaken_for_a_stall(self):
         plan = FaultPlan([FaultSpec(SLOW_START, strategy="monolithic",
                                     attempt=1, delay=0.2)])
