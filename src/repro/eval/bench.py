@@ -41,6 +41,7 @@ QUICK_SCALES: Dict[str, dict] = {
     "portfolio": {"n_apps": 4, "islands": 2, "midcheck_apps": 4},
     "dl_propagation": {"n_systems": 3, "n_apps": 4, "n_switches": 5},
     "faults": {"n_apps": 4, "gm_apps": 4, "timeout": 60.0},
+    "service": {"workers": 2, "deadline": 120.0},
 }
 
 
@@ -522,6 +523,165 @@ def _bench_faults(scale: dict) -> dict:
     }
 
 
+def _bench_service(scale: dict) -> dict:
+    """The synthesis service under a seeded batched stream (cache gate).
+
+    One process-worker :class:`~repro.service.SynthesisServer` with a
+    fresh disk cache serves a deterministic request stream in two
+    phases: every unique problem cold, then every problem again —
+    byte-identical, so each repeat must resolve to an **exact**
+    fingerprint hit and warm-start from the stored knowledge.  The
+    regression surface:
+
+    * per-problem ``pair<i>`` statuses (``cold/warm``) — any flip is a
+      hard regression;
+    * ``warm_work_strictly_less`` — the summed conflicts+decisions of
+      the warm phase must be *strictly* below the cold phase (the
+      cache's whole point), with per-pair work recorded for diagnosis;
+    * chaos: one request is SIGKILLed mid-solve (``chaos_retried``) and
+      one long solve is cancelled mid-flight (``cancelled_clean``),
+      after which ``no_leaked_workers`` certifies a clean reap.
+
+    The ``service`` block carries the throughput/latency roll-up
+    (req/sec, queue-wait and total p50/p99) plus the cache and
+    supervision counters.  Solver work happens in worker processes, so
+    the record's global ``statistics`` stay near zero — the gates above
+    are the deterministic regression surface instead.
+    """
+    import asyncio
+    import multiprocessing as mp
+    import tempfile
+    from fractions import Fraction
+
+    from ..core.synthesizer import SynthesisOptions
+    from ..portfolio import FaultPlan, FaultSpec, SupervisionPolicy
+    from ..portfolio.faults import CRASH
+    from ..service import (KnowledgeCache, ServiceClient, ServicePolicy,
+                           SynthesisRequest, SynthesisServer)
+    from . import workloads
+
+    workers = scale.get("workers", 2)
+    deadline = scale.get("deadline", 120.0)
+
+    # Instances where the cached knowledge demonstrably pays: the GM
+    # case study is route-search dominated (the stage prefix collapses
+    # it), and the unsat bottleneck re-derives infeasibility straight
+    # from the stored veto.  Schedule-search-heavy random instances are
+    # deliberately absent — fixing routes does not shrink their offset
+    # search, so they would not gate anything.
+    uniques = [
+        (workloads.gm_case_study(3), SynthesisOptions(routes=2)),
+        (workloads.gm_case_study(3), SynthesisOptions(routes=3)),
+        (workloads.bottleneck_problem(3), SynthesisOptions(routes=2)),
+        (workloads.bottleneck_problem(3, period=Fraction(35, 10000)),
+         SynthesisOptions(routes=2)),
+    ]
+    n_unique = len(uniques)
+
+    statuses: Dict[str, str] = {}
+    service: Dict[str, object] = {}
+
+    async def drive(cache_dir: str) -> None:
+        cache = KnowledgeCache(cache_dir)
+        plan = FaultPlan([FaultSpec(CRASH, strategy="chaos", attempt=1)])
+        policy = ServicePolicy(
+            workers=workers, max_queue=4 * n_unique + 8,
+            worker_mode="process",
+            supervision=SupervisionPolicy(backoff_base=0.01,
+                                          backoff_cap=0.05, kill_grace=0.5),
+        )
+        async with SynthesisServer(policy=policy, cache=cache,
+                                   fault_plan=plan) as server:
+            client = ServiceClient(server)
+            t0 = time.perf_counter()
+            cold = await client.solve_batch([
+                SynthesisRequest(id=f"cold-{i}", problem=p, options=opts,
+                                 deadline=deadline)
+                for i, (p, opts) in enumerate(uniques)
+            ])
+            warm = await client.solve_batch([
+                SynthesisRequest(id=f"warm-{i}", problem=p, options=opts,
+                                 deadline=deadline)
+                for i, (p, opts) in enumerate(uniques)
+            ])
+            # Chaos 1: SIGKILL the worker on this request's first
+            # attempt; supervision must retry and still answer.
+            chaos = await client.solve(uniques[0][0], uniques[0][1],
+                                       deadline=deadline,
+                                       request_id="chaos")
+            # Chaos 2: cancel a long solve mid-flight.
+            _, pending = await client.submit(
+                workloads.gm_case_study(5), deadline=deadline,
+                request_id="cancelme")
+            for _ in range(100):
+                await asyncio.sleep(0.05)
+                if server.stats()["inflight"] >= 1:
+                    break
+            await asyncio.sleep(0.25)
+            await client.cancel("cancelme")
+            cancelled = await pending
+            wall = time.perf_counter() - t0
+            stats = server.stats()
+
+        def work(reply: dict) -> int:
+            counters = reply.get("statistics", {})
+            return counters.get("conflicts", 0) + counters.get("decisions", 0)
+
+        cold_work = sum(work(r) for r in cold)
+        warm_work = sum(work(r) for r in warm)
+        pair_work = {}
+        for i, (c, w) in enumerate(zip(cold, warm)):
+            statuses[f"pair{i}"] = (f"{c.get('status', c['type'])}"
+                                    f"/{w.get('status', w['type'])}")
+            pair_work[f"pair{i}"] = {"cold": work(c), "warm": work(w)}
+        statuses["warm_statuses_match"] = (
+            "yes" if all(c.get("status") == w.get("status")
+                         for c, w in zip(cold, warm)) else "NO"
+        )
+        statuses["warm_all_exact_hits"] = (
+            "yes" if all(w["cache"]["hit"] == "exact" for w in warm)
+            else "NO"
+        )
+        statuses["warm_work_strictly_less"] = (
+            "yes" if warm_work < cold_work
+            and all(work(w) < work(c) for c, w in zip(cold, warm))
+            else "NO"
+        )
+        statuses["chaos_retried"] = (
+            "yes" if chaos["type"] == "result" and chaos["attempts"] >= 2
+            and stats["supervision"].get("crashes", 0) >= 1 else "NO"
+        )
+        statuses["cancelled_clean"] = (
+            "yes" if cancelled["type"] == "cancelled" else "NO"
+        )
+        for proc in mp.active_children():
+            proc.join(timeout=2.0)
+        statuses["no_leaked_workers"] = (
+            "yes" if not mp.active_children() else "NO"
+        )
+
+        completed = len(cold) + len(warm) + 2
+        service.update({
+            "requests": completed,
+            "throughput_rps": round(completed / wall, 3) if wall else 0.0,
+            "latency": stats["latency"],
+            "cache": stats["cache"],
+            "supervision": stats["supervision"],
+            "cold_work": cold_work,
+            "warm_work": warm_work,
+            "warm_savings": cold_work - warm_work,
+            "pair_work": pair_work,
+        })
+
+    with tempfile.TemporaryDirectory() as tmp:
+        asyncio.run(drive(tmp))
+    return {
+        "statuses": statuses,
+        "service": service,
+        "render_digest": _digest(repr(sorted(statuses.items()))),
+    }
+
+
 _RUNNERS: Dict[str, Callable[[dict], dict]] = {
     "table1": _bench_table1,
     "fig3": _bench_fig3,
@@ -531,6 +691,7 @@ _RUNNERS: Dict[str, Callable[[dict], dict]] = {
     "portfolio": _bench_portfolio,
     "dl_propagation": _bench_dl_propagation,
     "faults": _bench_faults,
+    "service": _bench_service,
 }
 
 

@@ -1,0 +1,59 @@
+"""Synthesis-as-a-service: a long-lived scheduling server.
+
+Everything the earlier PRs built — the declarative
+:class:`repro.api.Session`, the supervised portfolio machinery, and the
+cross-worker :class:`~repro.portfolio.sharing.KnowledgePool` — lives
+inside one process solving one problem.  This package turns the stack
+into a *service*: an asyncio front-end (:class:`SynthesisServer`)
+accepts synthesis requests (single and batched) over a small JSON-line
+protocol or through the in-process :class:`ServiceClient`, dispatches
+them onto a pool of persistent solver workers, and — the headline — a
+persistent, disk-backed :class:`KnowledgeCache` keyed by **problem
+fingerprint** warm-starts repeated or near-repeated problems from
+learned clauses, route vetoes, and prior schedules instead of solving
+cold.
+
+See ``docs/service.md`` for the protocol, the fingerprint/ancestor-
+matching semantics and their soundness argument, the admission/deadline
+knobs, the cache format, and the metrics table.
+"""
+
+from .cache import CacheEntry, KnowledgeCache
+from .client import ServiceClient, request_over_tcp
+from .fingerprint import (
+    ancestor_relation,
+    canonical_options,
+    canonical_problem,
+    compatibility_key,
+    problem_fingerprint,
+)
+from .protocol import (
+    SynthesisRequest,
+    decode_frame,
+    encode_frame,
+    problem_from_wire,
+    problem_to_wire,
+)
+from .server import ServicePolicy, SynthesisServer
+from .workers import ServiceWorker, export_request_knowledge
+
+__all__ = [
+    "CacheEntry",
+    "KnowledgeCache",
+    "ServiceClient",
+    "ServicePolicy",
+    "ServiceWorker",
+    "SynthesisRequest",
+    "SynthesisServer",
+    "ancestor_relation",
+    "canonical_options",
+    "canonical_problem",
+    "compatibility_key",
+    "decode_frame",
+    "encode_frame",
+    "export_request_knowledge",
+    "problem_fingerprint",
+    "problem_from_wire",
+    "problem_to_wire",
+    "request_over_tcp",
+]

@@ -1,0 +1,420 @@
+"""The fingerprint-keyed, disk-backed knowledge cache.
+
+One entry per problem fingerprint, one JSON file per entry.  An entry
+records what the winning solve of that problem *learned* — schedule-
+vocabulary clauses (learned + root units, serialized literal tuples),
+the route veto of a proven unsat, and the winning schedule — plus the
+compatibility key and per-app descriptor digests that drive ancestor
+matching (:mod:`repro.service.fingerprint`), and bookkeeping (status,
+solver work, hit count).
+
+Admission path (:meth:`KnowledgeCache.lookup`): an exact fingerprint
+hit seeds everything; a miss falls back to the best compatible ancestor
+in the same bucket — clauses and vetoes only from *subset* ancestors,
+schedule hints from either direction (see the fingerprint module for
+the soundness argument).  The returned
+:class:`~repro.portfolio.sharing.SeedKnowledge` plugs straight into
+``SynthesisOptions.seed_knowledge``, so the whole import machinery
+(route-limit padding, veto escapes, prefix probes) is PR 4's, untouched.
+
+Persistence is crash-safe and hostile-input-safe: files are written
+atomically (tmp + rename), and a file that fails to parse or validate
+on load is *quarantined* — renamed to ``<name>.quarantined``, counted,
+never imported, never fatal (the robustness contract of PR 7's pool
+boundary, extended to disk).
+
+Eviction is LRU with two caps: ``max_entries`` and ``max_bytes`` of
+on-disk payload.  Every hit refreshes recency; inserts evict from the
+cold end until both caps hold.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..portfolio import sharing
+from ..portfolio.sharing import (ClauseBatch, RouteVeto, SeedKnowledge,
+                                 StagePrefix, signature_of)
+from . import fingerprint as fp
+
+#: On-disk schema version; bump on incompatible layout changes (old
+#: entries are quarantined, not migrated — they are only ever hints).
+CACHE_VERSION = 1
+
+
+def _tuplify(value):
+    """Recursively turn JSON lists back into the tuples sharing expects."""
+    if isinstance(value, list):
+        return tuple(_tuplify(v) for v in value)
+    return value
+
+
+@dataclass
+class CacheEntry:
+    """One cached problem's transferable knowledge."""
+
+    fingerprint: str
+    compat_key: str
+    apps: Dict[str, str]                 # name -> descriptor digest
+    options: Dict[str, object]           # canonical_options of the recorder
+    status: str                          # sat / unsat / unknown
+    clauses: Tuple[Tuple, ...] = ()      # serialized schedule-vocab literals
+    route_veto: Optional[Tuple[Tuple[str, int], ...]] = None
+    schedule: Tuple[Tuple[str, Tuple[str, ...],
+                          Tuple[Tuple[str, str], ...]], ...] = ()
+    work: Dict[str, int] = field(default_factory=dict)
+    created: float = 0.0
+    hits: int = 0
+
+    def to_json(self) -> dict:
+        return {
+            "version": CACHE_VERSION,
+            "fingerprint": self.fingerprint,
+            "compat_key": self.compat_key,
+            "apps": self.apps,
+            "options": self.options,
+            "status": self.status,
+            "clauses": self.clauses,
+            "route_veto": self.route_veto,
+            "schedule": self.schedule,
+            "work": self.work,
+            "created": self.created,
+            "hits": self.hits,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "CacheEntry":
+        if payload.get("version") != CACHE_VERSION:
+            raise ValueError(f"unsupported cache version "
+                             f"{payload.get('version')!r}")
+        entry = cls(
+            fingerprint=payload["fingerprint"],
+            compat_key=payload["compat_key"],
+            apps=dict(payload["apps"]),
+            options=dict(payload["options"]),
+            status=payload["status"],
+            clauses=_tuplify(payload.get("clauses", [])),
+            route_veto=_tuplify(payload["route_veto"])
+            if payload.get("route_veto") else None,
+            schedule=_tuplify(payload.get("schedule", [])),
+            work=dict(payload.get("work", {})),
+            created=float(payload.get("created", 0.0)),
+            hits=int(payload.get("hits", 0)),
+        )
+        entry.validate()
+        return entry
+
+    def validate(self) -> None:
+        """Shape-check everything a seeded worker would deserialize.
+
+        The disk is a pool boundary exactly like PR 7's worker pipes: an
+        entry that fails here is quarantined by the loader, never
+        imported.  Clause/veto payloads reuse the pipe-boundary
+        validator from :mod:`repro.portfolio.sharing`.
+        """
+        if not isinstance(self.fingerprint, str) or not self.fingerprint:
+            raise ValueError("entry without a fingerprint")
+        if not isinstance(self.compat_key, str) or not self.compat_key:
+            raise ValueError("entry without a compatibility key")
+        if not isinstance(self.apps, dict) or not all(
+                isinstance(k, str) and isinstance(v, str)
+                for k, v in self.apps.items()):
+            raise ValueError("malformed app digest map")
+        if self.status not in ("sat", "unsat", "unknown"):
+            raise ValueError(f"unknown cached status {self.status!r}")
+        sig = signature_of(_OptionsView(self.options))
+        if self.clauses:
+            problem = sharing.validate_artifact(
+                {"kind": "clauses", "signature": sig, "clauses": self.clauses})
+            if problem is not None:
+                raise ValueError(f"cached clauses invalid: {problem}")
+        if self.route_veto is not None:
+            problem = sharing.validate_artifact(
+                {"kind": "veto", "signature": sig, "limits": self.route_veto})
+            if problem is not None:
+                raise ValueError(f"cached veto invalid: {problem}")
+        if self.schedule:
+            problem = sharing.validate_artifact(
+                {"kind": "prefix", "signature": sig, "stages_completed": 1,
+                 "messages": self.schedule})
+            if problem is not None:
+                raise ValueError(f"cached schedule invalid: {problem}")
+
+    @property
+    def source_routes(self) -> Optional[int]:
+        routes = self.options.get("routes")
+        return int(routes) if routes is not None else None
+
+
+class _OptionsView:
+    """Duck-typed options over a canonical-options dict (for signatures)."""
+
+    def __init__(self, options: Dict[str, object]) -> None:
+        self.mode = options.get("mode", "stability")
+        routes = options.get("routes")
+        self.routes = int(routes) if routes is not None else None
+        self.stages = int(options.get("stages", 1))
+        cutoff = options.get("path_cutoff")
+        self.path_cutoff = int(cutoff) if cutoff is not None else None
+        self.repair = bool(options.get("repair", False))
+
+
+@dataclass(frozen=True)
+class CacheHit:
+    """What :meth:`KnowledgeCache.lookup` resolved for one request."""
+
+    kind: str                       # "exact" | "subset" | "superset"
+    entry: CacheEntry
+    seed: SeedKnowledge
+
+
+class KnowledgeCache:
+    """LRU-bounded persistent cache of per-fingerprint knowledge."""
+
+    def __init__(self, root: str | Path, max_entries: int = 256,
+                 max_bytes: int = 16 * 1024 * 1024) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        # fingerprint -> entry, in LRU order (first = coldest).
+        self._entries: Dict[str, CacheEntry] = {}
+        self._sizes: Dict[str, int] = {}
+        self.counters: Dict[str, int] = {
+            "exact_hits": 0, "ancestor_hits": 0, "misses": 0,
+            "stores": 0, "evictions": 0, "quarantined_entries": 0,
+        }
+        self._load()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.root / f"{fingerprint}.json"
+
+    def _load(self) -> None:
+        """Scan the cache directory; quarantine anything unreadable."""
+        loaded: List[Tuple[float, CacheEntry, int]] = []
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text())
+                entry = CacheEntry.from_json(payload)
+                if entry.fingerprint != path.stem:
+                    raise ValueError("fingerprint does not match filename")
+            except (ValueError, KeyError, TypeError, OSError,
+                    json.JSONDecodeError):
+                self._quarantine(path)
+                continue
+            loaded.append((entry.created, entry, path.stat().st_size))
+        # Recency order: oldest first (LRU cold end at the front).
+        for _, entry, size in sorted(loaded, key=lambda t: t[0]):
+            self._entries[entry.fingerprint] = entry
+            self._sizes[entry.fingerprint] = size
+        self._evict()
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt file aside; never raise, never import."""
+        try:
+            path.rename(path.with_suffix(path.suffix + ".quarantined"))
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self.counters["quarantined_entries"] += 1
+
+    def _write(self, entry: CacheEntry) -> int:
+        """Atomic write (tmp + rename); returns the on-disk size."""
+        blob = (json.dumps(entry.to_json(), sort_keys=True) + "\n").encode()
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, self._path(entry.fingerprint))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return len(blob)
+
+    def _evict(self) -> None:
+        while self._entries and (
+                len(self._entries) > self.max_entries
+                or sum(self._sizes.values()) > self.max_bytes):
+            coldest = next(iter(self._entries))
+            # Refuse to evict the only entry on a size-cap violation it
+            # cannot fix — a single oversized entry is better than none.
+            if (len(self._entries) == 1
+                    and len(self._entries) <= self.max_entries):
+                break
+            del self._entries[coldest]
+            self._sizes.pop(coldest, None)
+            try:
+                self._path(coldest).unlink()
+            except OSError:
+                pass
+            self.counters["evictions"] += 1
+
+    def _touch(self, fingerprint: str) -> None:
+        """Refresh LRU recency (move to the hot end)."""
+        entry = self._entries.pop(fingerprint)
+        entry.hits += 1
+        self._entries[fingerprint] = entry
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+
+    def lookup(self, problem, options=None) -> Optional[CacheHit]:
+        """Resolve a request against the cache (exact, then ancestor).
+
+        Returns a :class:`CacheHit` whose ``seed`` is ready for
+        ``SynthesisOptions.seed_knowledge``, or None on a miss.
+        """
+        key = fp.problem_fingerprint(problem, options)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._touch(key)
+            self.counters["exact_hits"] += 1
+            return CacheHit("exact", entry,
+                            self._seed_from(entry, options, "equal"))
+        bucket = fp.compatibility_key(problem, options)
+        request_apps = fp.app_set_key(problem)
+        best: Optional[Tuple[Tuple[int, int], str, CacheEntry, str]] = None
+        # Iterate hot-to-cold so recency breaks quality ties.
+        for fprint, candidate in reversed(list(self._entries.items())):
+            if candidate.compat_key != bucket:
+                continue
+            relation = fp.ancestor_relation(request_apps, candidate.apps)
+            if relation is None:
+                continue
+            quality = fp.match_quality(relation, candidate.apps, request_apps)
+            if best is None or quality > best[0]:
+                best = (quality, relation, candidate, fprint)
+        if best is None:
+            self.counters["misses"] += 1
+            return None
+        _, relation, entry, fprint = best
+        seed = self._seed_from(entry, options, relation)
+        if not seed:
+            self.counters["misses"] += 1
+            return None
+        self._touch(fprint)
+        self.counters["ancestor_hits"] += 1
+        return CacheHit(relation, entry, seed)
+
+    def _seed_from(self, entry: CacheEntry, options,
+                   relation: str) -> SeedKnowledge:
+        """Assemble the seed a hit contributes (soundness-gated).
+
+        ``equal``/``subset``: clauses + veto + schedule hints.
+        ``superset``: schedule hints only — the cached formula is
+        *stronger* than the request's, so its clauses are not entailed
+        (see :mod:`repro.service.fingerprint`); the schedule is replayed
+        as an assumption probe, sound for any recipient.  Unknown uids
+        in the hints are skipped by the probe builder, so a superset
+        schedule needs no explicit restriction here.
+        """
+        if options is None:
+            from ..core.synthesizer import SynthesisOptions
+            options = SynthesisOptions()
+        batches: Tuple[ClauseBatch, ...] = ()
+        vetoes: Tuple[RouteVeto, ...] = ()
+        if relation in ("equal", "subset"):
+            if entry.clauses:
+                batches = (ClauseBatch(source_routes=entry.source_routes,
+                                       clauses=entry.clauses),)
+            if entry.route_veto is not None:
+                vetoes = (RouteVeto(limits=entry.route_veto,
+                                    source=f"cache:{entry.fingerprint[:8]}"),)
+        prefix = None
+        if entry.schedule:
+            # The prefix signature must equal the *request's* signature:
+            # core.solve replays it in every stage via prefix_assumptions
+            # regardless, but keeping the target signature documents who
+            # the hint is for (and keeps pool/seed invariants intact).
+            prefix = StagePrefix(
+                signature=signature_of(options),
+                stages_completed=int(options.stages),
+                messages=entry.schedule,
+            )
+        return SeedKnowledge(clause_batches=batches, route_vetoes=vetoes,
+                             stage_prefix=prefix)
+
+    def store(self, problem, options, status: str,
+              clauses: Tuple[Tuple, ...] = (),
+              route_veto: Optional[Tuple[Tuple[str, int], ...]] = None,
+              schedule: Tuple = (),
+              work: Optional[Dict[str, int]] = None) -> Optional[CacheEntry]:
+        """Write one completed request's knowledge back (LRU insert).
+
+        ``unknown`` results with nothing learned are not stored.  An
+        existing entry for the same fingerprint is replaced (the fresh
+        solve's knowledge supersedes it).
+        """
+        if status not in ("sat", "unsat") and not clauses:
+            return None
+        entry = CacheEntry(
+            fingerprint=fp.problem_fingerprint(problem, options),
+            compat_key=fp.compatibility_key(problem, options),
+            apps=fp.app_set_key(problem),
+            options=fp.canonical_options(options),
+            status=status,
+            clauses=tuple(clauses),
+            route_veto=tuple(route_veto) if route_veto else None,
+            schedule=tuple(schedule),
+            work=dict(work or {}),
+            created=time.time(),
+        )
+        try:
+            entry.validate()
+        except ValueError:
+            # A worker shipped junk (fault injection, version skew):
+            # quarantine at the boundary, exactly like the pool does.
+            self.counters["quarantined_entries"] += 1
+            return None
+        self._entries.pop(entry.fingerprint, None)
+        self._sizes.pop(entry.fingerprint, None)
+        try:
+            size = self._write(entry)
+        except OSError:
+            return None  # disk trouble: the cache is only ever a hint
+        self._entries[entry.fingerprint] = entry
+        self._sizes[entry.fingerprint] = size
+        self.counters["stores"] += 1
+        self._evict()
+        return entry
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self._sizes.values())
+
+    @property
+    def statistics(self) -> Dict[str, int]:
+        stats = dict(self.counters)
+        stats["entries"] = len(self._entries)
+        stats["bytes"] = self.total_bytes
+        return stats

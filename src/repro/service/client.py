@@ -1,0 +1,105 @@
+"""Clients for the synthesis service.
+
+:class:`ServiceClient` wraps an in-process
+:class:`~repro.service.server.SynthesisServer` with an awaitable
+request API — no sockets, no serialization, problems passed by
+reference — which is what tests, benchmarks, and embedding applications
+want.  :func:`request_over_tcp` exercises the JSON-line TCP endpoint:
+it ships a list of frames and collects every reply, which is all the
+example script and the protocol tests need without a full connection-
+pooling client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from .protocol import SynthesisRequest, decode_frame, encode_frame
+from .server import SynthesisServer
+
+
+class ServiceClient:
+    """In-process client bound to one :class:`SynthesisServer`."""
+
+    def __init__(self, server: SynthesisServer) -> None:
+        self._server = server
+        self._ids = itertools.count(1)
+
+    def _request(self, problem, options, deadline,
+                 request_id: Optional[str]) -> SynthesisRequest:
+        if request_id is None:
+            request_id = f"req-{next(self._ids)}"
+        kwargs = {} if options is None else {"options": options}
+        return SynthesisRequest(id=request_id, problem=problem,
+                                deadline=deadline, **kwargs)
+
+    async def submit(self, problem, options=None, *,
+                     deadline: Optional[float] = None,
+                     request_id: Optional[str] = None,
+                     ) -> Tuple[str, asyncio.Future]:
+        """Admit one request; returns ``(id, future)`` without waiting."""
+        request = self._request(problem, options, deadline, request_id)
+        return request.id, await self._server.submit(request)
+
+    async def solve(self, problem, options=None, *,
+                    deadline: Optional[float] = None,
+                    request_id: Optional[str] = None) -> dict:
+        """Admit one request and await its response frame."""
+        _, future = await self.submit(problem, options, deadline=deadline,
+                                      request_id=request_id)
+        return await future
+
+    async def solve_batch(self,
+                          requests: List[SynthesisRequest]) -> List[dict]:
+        """Admit a batch and await all responses (submission order)."""
+        futures = await self._server.submit_batch(requests)
+        return list(await asyncio.gather(*futures))
+
+    async def cancel(self, request_id: str) -> bool:
+        return await self._server.cancel(request_id)
+
+    async def drain(self) -> Dict[str, int]:
+        return await self._server.drain()
+
+    def stats(self) -> dict:
+        return self._server.stats()
+
+
+async def request_over_tcp(host: str, port: int,
+                           frames: List[dict],
+                           expect: Optional[int] = None,
+                           timeout: float = 60.0) -> List[dict]:
+    """Send request frames over one TCP connection; collect all replies.
+
+    ``expect`` overrides the reply count (by default one reply per
+    ``solve``/``cancel``/``stats``/``drain`` frame and one per entry of
+    a ``batch``).  Replies arrive in completion order, not submission
+    order — match on ``id``.
+    """
+    if expect is None:
+        expect = 0
+        for frame in frames:
+            if frame.get("op") == "batch":
+                expect += len(frame.get("requests", []))
+            else:
+                expect += 1
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for frame in frames:
+            writer.write(encode_frame(frame))
+        await writer.drain()
+        replies: List[dict] = []
+        for _ in range(expect):
+            line = await asyncio.wait_for(reader.readline(), timeout)
+            if not line:
+                break
+            replies.append(decode_frame(line))
+        return replies
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, OSError):
+            pass

@@ -1,0 +1,174 @@
+"""KnowledgeCache: lookup semantics, eviction, and disk robustness."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.synthesizer import SynthesisOptions
+from repro.service import KnowledgeCache, problem_fingerprint
+from repro.service.cache import CacheEntry
+
+from .helpers import family_problem
+
+#: Handcrafted knowledge in the exact shapes the sharing module accepts
+#: (see ``repro.portfolio.sharing._valid_literal`` and
+#: ``validate_artifact``): enough to exercise the cache without solving.
+CLAUSES = ((("b", "p!route[app0]=0", True),),
+           (("b", "p!route[app0]=0", False), ("b", "p!route[app1]=0", True)))
+VETO = (("app0@0", 1), ("app1@0", 1))
+SCHEDULE = (("app0@0", ("S0", "A", "B", "C0"),
+             (("A", "1/4000"), ("B", "1/2000"))),)
+
+
+def store_family(cache, indices, status="sat", **kwargs):
+    problem = family_problem(indices)
+    kwargs.setdefault("clauses", CLAUSES)
+    kwargs.setdefault("schedule", SCHEDULE)
+    entry = cache.store(problem, SynthesisOptions(), status, **kwargs)
+    assert entry is not None
+    return problem, entry
+
+
+class TestLookup:
+    def test_miss_then_exact_hit(self, tmp_path):
+        cache = KnowledgeCache(tmp_path)
+        problem = family_problem([0, 1])
+        assert cache.lookup(problem) is None
+        store_family(cache, [0, 1])
+        hit = cache.lookup(problem)
+        assert hit is not None and hit.kind == "exact"
+        assert hit.seed.clause_batches and hit.seed.stage_prefix
+        assert cache.counters["exact_hits"] == 1
+        assert cache.counters["misses"] == 1
+
+    def test_subset_ancestor_seeds_clauses_and_veto(self, tmp_path):
+        cache = KnowledgeCache(tmp_path)
+        store_family(cache, [0, 1], status="sat", route_veto=VETO)
+        hit = cache.lookup(family_problem([0, 1, 2]))
+        assert hit is not None and hit.kind == "subset"
+        assert hit.seed.clause_batches
+        assert hit.seed.route_vetoes
+        assert hit.seed.stage_prefix is not None
+        assert cache.counters["ancestor_hits"] == 1
+
+    def test_superset_ancestor_seeds_schedule_only(self, tmp_path):
+        cache = KnowledgeCache(tmp_path)
+        store_family(cache, [0, 1, 2], route_veto=VETO)
+        hit = cache.lookup(family_problem([0, 1]))
+        assert hit is not None and hit.kind == "superset"
+        # Soundness: the cached formula is stronger than the request's,
+        # so clauses and vetoes must NOT transfer — schedule hints only.
+        assert not hit.seed.clause_batches
+        assert not hit.seed.route_vetoes
+        assert hit.seed.stage_prefix is not None
+
+    def test_incomparable_sets_miss(self, tmp_path):
+        cache = KnowledgeCache(tmp_path)
+        store_family(cache, [0, 1])
+        assert cache.lookup(family_problem([2, 3])) is None
+
+    def test_options_bucket_is_respected(self, tmp_path):
+        cache = KnowledgeCache(tmp_path)
+        problem, _ = store_family(cache, [0, 1])
+        # Same problem under a different mode: different bucket entirely.
+        assert cache.lookup(problem,
+                            SynthesisOptions(mode="deadline")) is None
+
+    def test_best_ancestor_wins(self, tmp_path):
+        cache = KnowledgeCache(tmp_path)
+        store_family(cache, [0])
+        _, large = store_family(cache, [0, 1, 2])
+        hit = cache.lookup(family_problem([0, 1, 2, 3]))
+        assert hit is not None and hit.kind == "subset"
+        assert hit.entry.fingerprint == large.fingerprint
+
+    def test_unknown_without_clauses_not_stored(self, tmp_path):
+        cache = KnowledgeCache(tmp_path)
+        assert cache.store(family_problem([0]), SynthesisOptions(),
+                           "unknown") is None
+        assert len(cache) == 0
+
+    def test_junk_knowledge_is_quarantined_on_store(self, tmp_path):
+        cache = KnowledgeCache(tmp_path)
+        entry = cache.store(family_problem([0]), SynthesisOptions(), "sat",
+                            clauses=(("not-a-literal",),))
+        assert entry is None
+        assert len(cache) == 0
+        assert cache.counters["quarantined_entries"] == 1
+
+
+class TestPersistence:
+    def test_round_trip_across_instances(self, tmp_path):
+        cache = KnowledgeCache(tmp_path)
+        problem, entry = store_family(cache, [0, 1], route_veto=VETO)
+        reloaded = KnowledgeCache(tmp_path)
+        hit = reloaded.lookup(problem)
+        assert hit is not None and hit.kind == "exact"
+        assert hit.entry.clauses == entry.clauses
+        assert hit.entry.route_veto == entry.route_veto
+        assert hit.entry.schedule == entry.schedule
+
+    def test_files_are_valid_json(self, tmp_path):
+        cache = KnowledgeCache(tmp_path)
+        _, entry = store_family(cache, [0, 1])
+        path = Path(tmp_path) / f"{entry.fingerprint}.json"
+        payload = json.loads(path.read_text())
+        assert CacheEntry.from_json(payload).fingerprint == entry.fingerprint
+
+    @pytest.mark.parametrize("blob", [
+        b"{ not json",
+        b'{"version": 999}',
+        b'{"version": 1, "fingerprint": "x"}',
+        json.dumps({"version": 1, "fingerprint": "f" * 32,
+                    "compat_key": "c", "apps": {"a": "d"},
+                    "options": {}, "status": "sat",
+                    "clauses": [["nonsense"]]}).encode(),
+    ])
+    def test_corrupt_files_are_quarantined_not_fatal(self, tmp_path, blob):
+        (Path(tmp_path) / ("f" * 32 + ".json")).write_bytes(blob)
+        cache = KnowledgeCache(tmp_path)     # must not raise
+        assert len(cache) == 0
+        assert cache.counters["quarantined_entries"] == 1
+        assert not list(Path(tmp_path).glob("*.json"))
+        assert list(Path(tmp_path).glob("*.quarantined"))
+
+    def test_filename_fingerprint_mismatch_is_quarantined(self, tmp_path):
+        cache = KnowledgeCache(tmp_path)
+        _, entry = store_family(cache, [0, 1])
+        path = Path(tmp_path) / f"{entry.fingerprint}.json"
+        path.rename(Path(tmp_path) / ("0" * 32 + ".json"))
+        reloaded = KnowledgeCache(tmp_path)
+        assert len(reloaded) == 0
+        assert reloaded.counters["quarantined_entries"] == 1
+
+
+class TestEviction:
+    def test_entry_cap_evicts_lru(self, tmp_path):
+        cache = KnowledgeCache(tmp_path, max_entries=2)
+        p0, e0 = store_family(cache, [0])
+        p1, _ = store_family(cache, [1])
+        # Touch p0 so p1 becomes the coldest.
+        assert cache.lookup(p0).kind == "exact"
+        store_family(cache, [2])
+        assert len(cache) == 2
+        assert e0.fingerprint in cache
+        assert problem_fingerprint(p1) not in cache
+        assert cache.counters["evictions"] == 1
+        assert not (Path(tmp_path)
+                    / f"{problem_fingerprint(p1)}.json").exists()
+
+    def test_size_cap_evicts(self, tmp_path):
+        cache = KnowledgeCache(tmp_path, max_bytes=1)
+        store_family(cache, [0])
+        assert len(cache) == 1          # a sole oversized entry survives
+        store_family(cache, [1])
+        assert len(cache) == 1          # but forces the older one out
+        assert cache.counters["evictions"] >= 1
+
+    def test_restore_respects_caps(self, tmp_path):
+        cache = KnowledgeCache(tmp_path)
+        for i in range(4):
+            store_family(cache, [i])
+        reloaded = KnowledgeCache(tmp_path, max_entries=2)
+        assert len(reloaded) == 2

@@ -1,0 +1,138 @@
+"""Fingerprint canonicalization and ancestor-matching properties.
+
+The cache key must be *semantic*: anything that leaves the encoded
+formula unchanged (application order, wire-dict key order, non-encoding
+option knobs) leaves the fingerprint unchanged, and anything that
+changes the constraints or the interned vocabulary (namespace, horizon,
+repair mode, route limit, ...) changes it.  Ancestor matching must
+never pair entries across incompatible topologies or option buckets.
+"""
+
+import json
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.problem import SynthesisProblem
+from repro.core.synthesizer import SynthesisOptions
+from repro.service import (
+    ancestor_relation,
+    compatibility_key,
+    problem_fingerprint,
+    problem_from_wire,
+    problem_to_wire,
+)
+from repro.service.fingerprint import app_set_key, match_quality
+
+from .helpers import DELAYS, family_app, family_network, family_problem
+
+
+class TestCanonicalization:
+    def test_app_order_is_irrelevant(self):
+        a = family_problem([0, 1, 2])
+        net = family_network()
+        b = SynthesisProblem(net, [family_app(2), family_app(0),
+                                   family_app(1)], DELAYS)
+        assert problem_fingerprint(a) == problem_fingerprint(b)
+
+    @settings(max_examples=20, deadline=None)
+    @given(perm=st.permutations([0, 1, 2, 3]))
+    def test_any_permutation_fingerprints_identically(self, perm):
+        reference = problem_fingerprint(family_problem([0, 1, 2, 3]))
+        assert problem_fingerprint(family_problem(list(perm))) == reference
+
+    def test_wire_round_trip_with_shuffled_keys(self):
+        problem = family_problem([0, 1, 2])
+        wire = problem_to_wire(problem)
+        # A hostile client may emit keys (and app entries) in any order.
+        shuffled = json.loads(json.dumps({
+            key: wire[key] for key in reversed(list(wire))
+        }))
+        shuffled["apps"] = list(reversed(shuffled["apps"]))
+        rebuilt = problem_from_wire(shuffled)
+        assert problem_fingerprint(rebuilt) == problem_fingerprint(problem)
+        assert compatibility_key(rebuilt) == compatibility_key(problem)
+
+    def test_non_encoding_options_are_ignored(self):
+        problem = family_problem([0, 1])
+        base = problem_fingerprint(problem, SynthesisOptions())
+        for opts in (
+            SynthesisOptions(dl_propagation=False),
+            SynthesisOptions(probe_routes=False),
+            SynthesisOptions(max_conflicts=123),
+            SynthesisOptions(max_repair_rounds=7),
+        ):
+            assert problem_fingerprint(problem, opts) == base
+
+    @pytest.mark.parametrize("opts", [
+        SynthesisOptions(routes=1),
+        SynthesisOptions(stages=2),
+        SynthesisOptions(path_cutoff=3),
+        SynthesisOptions(repair=True),
+        SynthesisOptions(mode="deadline"),
+    ])
+    def test_encoding_options_change_the_fingerprint(self, opts):
+        problem = family_problem([0, 1])
+        assert (problem_fingerprint(problem, opts)
+                != problem_fingerprint(problem, SynthesisOptions()))
+
+    def test_namespace_changes_the_fingerprint(self):
+        problem = family_problem([0, 1])
+        assert (problem_fingerprint(problem, namespace="q")
+                != problem_fingerprint(problem))
+        assert (compatibility_key(problem, namespace="q")
+                != compatibility_key(problem))
+
+    def test_period_changes_horizon_and_fingerprint(self):
+        a = family_problem([0, 1])
+        b = family_problem([0, 1], period=Fraction(8, 1000))
+        assert problem_fingerprint(a) != problem_fingerprint(b)
+        assert compatibility_key(a) != compatibility_key(b)
+
+    def test_topology_change_breaks_compatibility(self):
+        a = family_problem([0, 1])
+        net = family_network()
+        net.add_switch("E")
+        net.add_link("A", "E")
+        b = SynthesisProblem(net, [family_app(0), family_app(1)], DELAYS)
+        assert compatibility_key(a) != compatibility_key(b)
+        assert problem_fingerprint(a) != problem_fingerprint(b)
+
+
+class TestAncestorRelation:
+    def test_relations(self):
+        small = app_set_key(family_problem([0, 1]))
+        big = app_set_key(family_problem([0, 1, 2]))
+        other = app_set_key(family_problem([3, 4]))
+        assert ancestor_relation(small, dict(small)) == "equal"
+        assert ancestor_relation(big, small) == "subset"
+        assert ancestor_relation(small, big) == "superset"
+        assert ancestor_relation(small, other) is None
+
+    def test_same_name_different_descriptor_never_pairs(self):
+        request = app_set_key(family_problem([0, 1]))
+        cached = app_set_key(
+            family_problem([0, 1], period=Fraction(8, 1000)))
+        # Same names, different periods: nothing is transferable.
+        assert ancestor_relation(request, cached) is None
+
+    def test_match_quality_ordering(self):
+        request = app_set_key(family_problem([0, 1, 2]))
+        equal = app_set_key(family_problem([0, 1, 2]))
+        subset = app_set_key(family_problem([0, 1]))
+        superset = app_set_key(family_problem([0, 1, 2, 3]))
+        q = {name: match_quality(ancestor_relation(request, apps),
+                                 apps, request)
+             for name, apps in [("equal", equal), ("subset", subset),
+                                ("superset", superset)]}
+        assert q["equal"] > q["subset"] > q["superset"]
+        assert match_quality(None, {}, request) < q["superset"]
+
+    def test_bigger_subset_outranks_smaller(self):
+        request = app_set_key(family_problem([0, 1, 2, 3]))
+        small = app_set_key(family_problem([0]))
+        large = app_set_key(family_problem([0, 1, 2]))
+        assert (match_quality("subset", large, request)
+                > match_quality("subset", small, request))
