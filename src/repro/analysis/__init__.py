@@ -1,0 +1,50 @@
+"""Solver-aware static analysis for the repro codebase.
+
+Every hardening PR in this repo's history fixed a bug a *static* check
+would have caught earlier: trail-hygiene violations in
+``Simplex.undo_to()``, Connection leaks on worker exit paths, protocol
+frame drift between producers and consumers, a blocking sleep on the
+service's async path.  This package turns those bug classes into
+repo-specific AST checkers with a CI gate.
+
+Architecture
+------------
+
+* :mod:`repro.analysis.core` — the engine: :class:`Finding`,
+  :class:`ModuleUnit` (parsed file + suppression map), the
+  :class:`Checker` contract (per-module and cross-module project
+  checks), and :func:`analyze`.
+* :mod:`repro.analysis.checkers` — the rule catalog (one module per
+  rule; see ``docs/analysis.md``).
+* :mod:`repro.analysis.cli` / ``python -m repro.analysis`` — human and
+  JSON output, exit status 1 on any unsuppressed finding.
+
+Findings are suppressed in source with a justifying pragma on the
+offending line or the comment line directly above it::
+
+    time.sleep(delay)  # repro: allow[async-blocking] runs in executor
+
+Rules fire only inside their declared scope (e.g. ``exact-arith`` only
+in the exact solver cores), so the toolkit stays quiet by construction
+everywhere a rule's invariant does not apply.
+"""
+
+from .core import (
+    Checker,
+    Finding,
+    ModuleUnit,
+    Report,
+    analyze,
+    load_unit,
+    scan_suppressions,
+)
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "ModuleUnit",
+    "Report",
+    "analyze",
+    "load_unit",
+    "scan_suppressions",
+]

@@ -1,0 +1,45 @@
+"""The rule catalog: one module per checker (see ``docs/analysis.md``).
+
+Each checker encodes a bug class from this repo's actual history.  The
+default scopes point at the production modules where the invariant
+holds; tests instantiate checkers with custom scopes to run them over
+fixtures.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core import Checker
+from .async_blocking import AsyncBlockingChecker
+from .determinism import DeterminismChecker
+from .exact_arith import ExactArithChecker
+from .frame_drift import FrameDriftChecker
+from .resource_hygiene import ResourceHygieneChecker
+from .trail_discipline import TrailDisciplineChecker
+
+ALL_CHECKER_TYPES = (
+    ExactArithChecker,
+    FrameDriftChecker,
+    ResourceHygieneChecker,
+    AsyncBlockingChecker,
+    TrailDisciplineChecker,
+    DeterminismChecker,
+)
+
+
+def default_checkers() -> List[Checker]:
+    """One fresh instance of every rule, production scopes."""
+    return [cls() for cls in ALL_CHECKER_TYPES]
+
+
+__all__ = [
+    "ALL_CHECKER_TYPES",
+    "AsyncBlockingChecker",
+    "DeterminismChecker",
+    "ExactArithChecker",
+    "FrameDriftChecker",
+    "ResourceHygieneChecker",
+    "TrailDisciplineChecker",
+    "default_checkers",
+]

@@ -1,0 +1,94 @@
+"""``async-blocking``: no blocking calls on the service's event loop.
+
+The synthesis server is a single asyncio loop fronting process workers;
+one blocking call inside a coroutine stalls every connected client,
+heartbeat and deadline at once.  Inside ``async def`` bodies in
+``repro/service/`` this rule flags:
+
+* ``time.sleep(...)`` (use ``await asyncio.sleep``),
+* ``.recv()`` / ``.poll()`` on anything (a multiprocessing
+  ``Connection`` blocks the loop; bridge through an executor),
+* builtin ``open(...)`` (sync file I/O; stage it in an executor).
+
+Because the service also runs *sync* helpers on executor threads, a
+``time.sleep`` anywhere else in a module that defines coroutines is
+reported too, with a softer message: prove it runs off-loop (e.g. via
+``run_in_executor``) and annotate it.  Nested ``def`` bodies inside a
+coroutine are skipped — they execute wherever they are called, which
+for this codebase is the executor.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set, Tuple
+
+from ..core import Checker, Finding, ModuleUnit
+
+RULE = "async-blocking"
+
+_BLOCKING_ATTRS = {"recv", "poll"}
+
+
+def _is_time_sleep(call: ast.Call) -> bool:
+    func = call.func
+    return (isinstance(func, ast.Attribute) and func.attr == "sleep"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time")
+
+
+class AsyncBlockingChecker(Checker):
+    rule = RULE
+    description = "blocking calls lexically inside service coroutines"
+    scope = ("repro.service.",)
+
+    def __init__(self, scope: Optional[Tuple[str, ...]] = None) -> None:
+        if scope is not None:
+            self.scope = scope
+
+    def check_module(self, unit: ModuleUnit) -> Iterable[Finding]:
+        async_defs = [n for n in ast.walk(unit.tree)
+                      if isinstance(n, ast.AsyncFunctionDef)]
+        if not async_defs:
+            return
+        inside: Set[int] = set()
+        for coro in async_defs:
+            for call, message in self._scan_coroutine(coro):
+                inside.add(call.lineno)
+                yield Finding(rule=RULE, path=unit.path, line=call.lineno,
+                              message=message)
+        # The module hosts coroutines: every other time.sleep must be
+        # proven off-loop (executor thread) and annotated.
+        for node in ast.walk(unit.tree):
+            if (isinstance(node, ast.Call) and _is_time_sleep(node)
+                    and node.lineno not in inside):
+                yield Finding(
+                    rule=RULE, path=unit.path, line=node.lineno,
+                    message="time.sleep in a module with async entry "
+                            "points; verify it only runs on an executor "
+                            "thread and annotate it")
+
+    def _scan_coroutine(self, coro: ast.AsyncFunctionDef,
+                        ) -> List[Tuple[ast.Call, str]]:
+        out: List[Tuple[ast.Call, str]] = []
+        stack: List[ast.AST] = list(ast.iter_child_nodes(coro))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # runs where it is called, not on this loop
+            stack.extend(ast.iter_child_nodes(node))
+            if not isinstance(node, ast.Call):
+                continue
+            if _is_time_sleep(node):
+                out.append((node, "time.sleep inside async def blocks the "
+                                  "event loop; use await asyncio.sleep"))
+            elif (isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _BLOCKING_ATTRS):
+                out.append((node, f".{node.func.attr}() inside async def "
+                                  "can block the event loop; bridge the "
+                                  "Connection through an executor"))
+            elif (isinstance(node.func, ast.Name)
+                    and node.func.id == "open"):
+                out.append((node, "sync open() inside async def blocks the "
+                                  "event loop; do file I/O on an executor"))
+        return out

@@ -1,0 +1,65 @@
+"""``exact-arith``: no float contamination in the exact solver cores.
+
+The difference-logic engine is scaled-integer and the simplex core is
+Fraction-exact; both prove *theory lemmas* the SAT core then treats as
+ground truth, so a single rounding error becomes an unsound refutation
+(the PR 2/PR 5 design forced every float into an explicitly *advisory*
+mirror: the opt-in prefilter whose misses fall back to exact
+arithmetic).  This rule flags, inside the declared exact modules:
+
+* ``float(...)`` casts,
+* float literals (``1e-6``, ``0.0`` — integer literals are fine),
+* true division ``/`` (the exact cores use ``//`` on scaled ints or
+  ``Fraction`` arithmetic; any ``/`` is either a float leak or an exact
+  ``Fraction`` division that deserves an explicit
+  ``# repro: allow[exact-arith]`` justification).
+
+The float-prefilter mirror regions in ``smt/simplex.py`` are annotated;
+everything else must stay exact.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional, Tuple
+
+from ..core import Checker, Finding, ModuleUnit
+
+RULE = "exact-arith"
+
+
+class ExactArithChecker(Checker):
+    rule = RULE
+    description = "float casts/literals/true-division in exact modules"
+    scope = ("repro.smt.difflogic", "repro.smt.simplex")
+
+    def __init__(self, scope: Optional[Tuple[str, ...]] = None) -> None:
+        if scope is not None:
+            self.scope = scope
+
+    def check_module(self, unit: ModuleUnit) -> Iterable[Finding]:
+        for node in ast.walk(unit.tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "float"):
+                yield Finding(
+                    rule=RULE, path=unit.path, line=node.lineno,
+                    message="float(...) cast in exact-arithmetic module")
+            elif (isinstance(node, ast.Constant)
+                    and isinstance(node.value, float)):
+                yield Finding(
+                    rule=RULE, path=unit.path, line=node.lineno,
+                    message=f"float literal {node.value!r} in "
+                            "exact-arithmetic module")
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                yield Finding(
+                    rule=RULE, path=unit.path, line=node.lineno,
+                    message="true division `/` in exact-arithmetic module "
+                            "(use `//` on scaled ints, or annotate exact "
+                            "Fraction division)")
+            elif (isinstance(node, ast.AugAssign)
+                    and isinstance(node.op, ast.Div)):
+                yield Finding(
+                    rule=RULE, path=unit.path, line=node.lineno,
+                    message="in-place true division `/=` in "
+                            "exact-arithmetic module")

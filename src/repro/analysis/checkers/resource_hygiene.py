@@ -1,0 +1,142 @@
+"""``resource-hygiene``: pipes and processes must be reaped on every path.
+
+PR 7's leak class: a worker ``Connection`` or ``Process`` created in a
+function where the cleanup call (``close`` / ``terminate`` / ``join``)
+sits only on the happy path — an early return or exception path leaks
+the fd or zombifies the child.
+
+The rule finds ``...Pipe()`` tuple bindings and ``...Process(...)``
+bindings to local names inside each function and requires, per bound
+name, one of:
+
+* the name **escapes** the function (returned, stored on an object or
+  container, passed to a call) — ownership is transferred and the
+  recipient is responsible;
+* a cleanup call on the name that is not *conditional-only*: at least
+  one cleanup sits in a ``finally`` block or on an unconditional
+  statement path (not exclusively inside ``if`` arms or ``except``
+  handlers).
+
+This is a lexical approximation, not a full CFG — it is tuned to catch
+the historical leak shape (cleanup only in an error branch) without
+flagging the supervised teardown idioms the portfolio engine uses.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core import Checker, Finding, ModuleUnit
+
+RULE = "resource-hygiene"
+
+_CLEANUP_METHODS = {"close", "terminate", "join", "kill"}
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _call_name(func: ast.AST) -> Optional[str]:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class ResourceHygieneChecker(Checker):
+    rule = RULE
+    description = "Pipe/Process cleanup reachable on all exit paths"
+    scope = ("repro.portfolio.", "repro.service.")
+
+    def __init__(self, scope: Optional[Tuple[str, ...]] = None) -> None:
+        if scope is not None:
+            self.scope = scope
+
+    def check_module(self, unit: ModuleUnit) -> Iterable[Finding]:
+        for node in ast.walk(unit.tree):
+            if isinstance(node, _FUNC_NODES):
+                yield from self._check_function(unit, node)
+
+    def _check_function(self, unit: ModuleUnit,
+                        func: ast.FunctionDef) -> Iterable[Finding]:
+        parents = self._parent_map(func)
+        resources: Dict[str, Tuple[int, str]] = {}  # name -> (line, what)
+        for node in ast.walk(func):
+            if node is not func and isinstance(node, _FUNC_NODES):
+                continue  # nested functions get their own pass
+            if not isinstance(node, ast.Assign):
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            kind = _call_name(node.value.func)
+            if kind == "Pipe":
+                for target in node.targets:
+                    if isinstance(target, ast.Tuple):
+                        for el in target.elts:
+                            if isinstance(el, ast.Name):
+                                resources[el.id] = (node.lineno, "connection")
+                    elif isinstance(target, ast.Name):
+                        resources[target.id] = (node.lineno, "pipe")
+            elif kind == "Process":
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        resources[target.id] = (node.lineno, "process")
+        if not resources:
+            return
+        escaped: Set[str] = set()
+        cleanups: Dict[str, List[ast.AST]] = {name: [] for name in resources}
+        for node in ast.walk(func):
+            if not (isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)
+                    and node.id in resources):
+                continue
+            parent = parents.get(node)
+            if isinstance(parent, ast.Attribute):
+                call = parents.get(parent)
+                if (isinstance(call, ast.Call) and call.func is parent
+                        and parent.attr in _CLEANUP_METHODS):
+                    cleanups[node.id].append(call)
+                # plain attribute access (conn.poll(), proc.pid): not escape
+                continue
+            escaped.add(node.id)
+        for name, (line, what) in sorted(resources.items()):
+            if name in escaped:
+                continue
+            calls = cleanups[name]
+            if not calls:
+                yield Finding(
+                    rule=RULE, path=unit.path, line=line,
+                    message=f"{what} {name!r} is created here but never "
+                            "closed, joined or handed off")
+            elif not any(self._unconditional(c, func, parents)
+                         for c in calls):
+                yield Finding(
+                    rule=RULE, path=unit.path, line=line,
+                    message=f"{what} {name!r} is only cleaned up on "
+                            "conditional paths; move a cleanup into a "
+                            "finally block or the unconditional path")
+
+    @staticmethod
+    def _parent_map(root: ast.AST) -> Dict[ast.AST, ast.AST]:
+        parents: Dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(root):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+        return parents
+
+    @staticmethod
+    def _unconditional(node: ast.AST, func: ast.AST,
+                       parents: Dict[ast.AST, ast.AST]) -> bool:
+        """True if ``node`` is in a finally block or on no conditional arm."""
+        child = node
+        cur = parents.get(node)
+        while cur is not None and cur is not func:
+            if isinstance(cur, ast.Try):
+                if child in cur.finalbody:
+                    return True
+            elif isinstance(cur, ast.ExceptHandler):
+                return False  # cleanup only on the exception path
+            elif isinstance(cur, (ast.If, ast.While, ast.For)):
+                return False  # conditional arm / possibly-zero iterations
+            child, cur = cur, parents.get(cur)
+        return True

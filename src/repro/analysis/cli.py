@@ -1,0 +1,79 @@
+"""``python -m repro.analysis`` — run the rule catalog over a tree.
+
+Exit status is 0 when every finding is suppressed (or there are none)
+and 1 otherwise, so CI can gate on it directly.  ``--format=json``
+emits the full machine-readable report (suppressed findings included,
+marked) for artifact upload; the default text format prints one
+``path:line: [rule] message`` per finding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .checkers import default_checkers
+from .core import Report, analyze
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Solver-aware static analysis for the repro codebase.")
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)")
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="include suppressed findings in text output")
+    return parser
+
+
+def run(argv: Optional[List[str]] = None,
+        stream=None) -> int:
+    out = stream if stream is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    checkers = default_checkers()
+    if args.rules:
+        wanted = {r.strip() for r in args.rules.split(",") if r.strip()}
+        unknown = wanted - {c.rule for c in checkers}
+        if unknown:
+            print(f"unknown rule(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+        checkers = [c for c in checkers if c.rule in wanted]
+    report = analyze([Path(p) for p in args.paths], checkers)
+    if args.format == "json":
+        json.dump(report.to_dict(), out, indent=2, sort_keys=True)
+        out.write("\n")
+    else:
+        _render_text(report, out, show_suppressed=args.show_suppressed)
+    return 0 if report.ok else 1
+
+
+def _render_text(report: Report, out, show_suppressed: bool) -> None:
+    shown = 0
+    for finding in report.findings:
+        if finding.suppressed and not show_suppressed:
+            continue
+        print(finding.render(), file=out)
+        shown += 1
+    suppressed = sum(1 for f in report.findings if f.suppressed)
+    unsuppressed = len(report.unsuppressed)
+    print(f"{report.files_checked} files checked, "
+          f"{len(report.rules)} rules, "
+          f"{unsuppressed} finding(s), {suppressed} suppressed",
+          file=out)
+
+
+def main() -> int:
+    return run()

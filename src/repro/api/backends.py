@@ -26,7 +26,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Protocol, Sequence, runtime_checkable
+from typing import (Any, Callable, Dict, List, Optional, Protocol,
+                    Sequence, runtime_checkable)
 
 from ..errors import SolverError
 from ..smt.solver import CheckResult, Model, SolverEngine, sat, unknown, unsat
@@ -87,7 +88,7 @@ class NativeBackend:
                  float_prefilter: bool = False,
                  dl_propagation: bool = True,
                  dl_effort: Optional[int] = None,
-                 on_restart=None,
+                 on_restart: Optional[Callable[[SolverEngine], None]] = None,
                  max_conflicts: Optional[int] = None,
                  engine: Optional[SolverEngine] = None) -> None:
         self._engine = engine if engine is not None else SolverEngine(
@@ -311,7 +312,9 @@ class SerializationBackend:
         return stats
 
 
-def _model_from_z3(z3, z3_model, assertions, assumptions) -> Model:
+def _model_from_z3(z3: Any, z3_model: Any,
+                   assertions: Sequence[BoolExpr],
+                   assumptions: Sequence[BoolExpr]) -> Model:
     """Convert a z3 model into the native :class:`Model`.
 
     Only the session's own variables are read back (with model
@@ -339,7 +342,7 @@ def _model_from_z3(z3, z3_model, assertions, assumptions) -> Model:
     return Model(bool_values, real_values)
 
 
-def _z3_module():
+def _z3_module() -> Any:
     try:
         import z3  # type: ignore
     except ImportError:
@@ -354,7 +357,7 @@ BACKENDS: Dict[str, Callable[..., SolverBackend]] = {
 }
 
 
-def make_backend(name: str, **options) -> SolverBackend:
+def make_backend(name: str, **options: object) -> SolverBackend:
     """Instantiate a registered backend by name."""
     factory = BACKENDS.get(name)
     if factory is None:

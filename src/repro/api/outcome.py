@@ -48,14 +48,14 @@ class CheckOutcome:
     def __bool__(self) -> bool:
         return self.status == "sat"
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if isinstance(other, CheckOutcome):
             return self.status == other.status
         if isinstance(other, (CheckResult, str)):
             return self.status == other
         return NotImplemented
 
-    def __ne__(self, other) -> bool:
+    def __ne__(self, other: object) -> bool:
         eq = self.__eq__(other)
         if eq is NotImplemented:
             return NotImplemented

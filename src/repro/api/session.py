@@ -35,9 +35,10 @@ legacy surface.
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..errors import SolverError
+from ..smt.solver import Model
 from ..smt.terms import BoolConst, BoolExpr
 from .backends import SolverBackend, make_backend
 from .outcome import CheckOutcome
@@ -72,7 +73,8 @@ class Session:
     """
 
     def __init__(self, backend: Union[str, SolverBackend] = "native", *,
-                 minimize_cores: bool = True, **backend_options) -> None:
+                 minimize_cores: bool = True,
+                 **backend_options: object) -> None:
         if isinstance(backend, str):
             self._backend: SolverBackend = make_backend(
                 backend, **backend_options)
@@ -93,7 +95,7 @@ class Session:
     def __enter__(self) -> "Session":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         return None
 
     # -- introspection ----------------------------------------------------
@@ -222,7 +224,7 @@ class Session:
         """Does this session's backend support :meth:`interrupt`?"""
         return getattr(self._backend, "interrupt", None) is not None
 
-    def model(self):
+    def model(self) -> "Model":
         """The last outcome's model (compatibility convenience)."""
         if self._last_outcome is None:
             raise SolverError("model is only available after a sat check()")
@@ -230,7 +232,7 @@ class Session:
 
     # -- helpers -----------------------------------------------------------
 
-    def _flatten(self, exprs) -> Iterable[BoolExpr]:
+    def _flatten(self, exprs: Iterable[object]) -> Iterable[BoolExpr]:
         for expr in exprs:
             if isinstance(expr, (list, tuple)):
                 yield from self._flatten(expr)

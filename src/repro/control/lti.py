@@ -7,7 +7,7 @@ with a ``dt`` attribute (``None`` for continuous time).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 import numpy as np

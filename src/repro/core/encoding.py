@@ -29,7 +29,7 @@ Implicit deadline       ``e2e <= h_i`` (both modes; makes one-hyper-period
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple
 

@@ -7,7 +7,7 @@ control application its period, endpoints, and stability specification
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
 from functools import cached_property
 from typing import List, Optional, Sequence

@@ -18,7 +18,7 @@ from typing import Dict, Optional
 
 from ..api import Session
 from ..errors import EncodingError
-from ..smt import LinExpr, Sum
+from ..smt import Sum
 from ..smt.optimize import OptimizeResult, minimize
 from .encoding import Encoder
 from .problem import SynthesisProblem

@@ -11,7 +11,7 @@ lists) that the discrete-event simulator executes.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, List, Optional
 

@@ -49,7 +49,6 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import dataclass, field
-from fractions import Fraction
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..api import NativeBackend, Session
@@ -382,7 +381,11 @@ def solve(
         acct.end_stage()
         stages_done += 1
         if on_event is not None and has_later_work:
-            on_event({"kind": "stage_frozen", "stage": stage_idx,
+            # Imported here, not at module level: repro.portfolio's
+            # package __init__ pulls in engine.py, which imports this
+            # module — a top-level import would be circular.
+            from ..portfolio.frames import KIND_STAGE_FROZEN
+            on_event({"kind": KIND_STAGE_FROZEN, "stage": stage_idx,
                       "fixed": list(fixed.values())})
 
     elapsed = time.perf_counter() - t0

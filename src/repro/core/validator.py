@@ -10,7 +10,6 @@ schedule.
 
 from __future__ import annotations
 
-from fractions import Fraction
 from typing import List
 
 from ..errors import ValidationError

@@ -11,7 +11,6 @@ numbers and ours).
 from __future__ import annotations
 
 import multiprocessing
-import time
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Callable, Dict, List, Optional, Sequence, Tuple

@@ -7,7 +7,7 @@ regenerate every figure's content on a terminal.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Mapping, Sequence, Tuple
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:

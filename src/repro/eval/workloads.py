@@ -19,7 +19,7 @@ import random
 from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..control.plants import PLANT_FACTORIES, PlantSpec, paper_controller
+from ..control.plants import PLANT_FACTORIES, paper_controller
 from ..core.problem import ControlApplication, SynthesisProblem
 from ..network.graph import Network
 from ..network.timing import DelayModel, microseconds

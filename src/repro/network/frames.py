@@ -9,7 +9,7 @@ synthesizer schedules and routes.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, List, Sequence
 

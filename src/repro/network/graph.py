@@ -10,7 +10,7 @@ links because the two directions have separate egress queues.
 from __future__ import annotations
 
 import enum
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 from ..errors import TopologyError
 

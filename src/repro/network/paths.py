@@ -12,7 +12,7 @@ intermediate nodes must be switches (endpoints do not forward).
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..errors import TopologyError
 from .graph import Network

@@ -14,7 +14,7 @@ control list a real 802.1Qbv switch would be programmed with.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, List, Optional, Tuple
 

@@ -11,7 +11,6 @@ network of Fig. 1 (see DESIGN.md §3 — substitution 3).
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
 
 from ..errors import TopologyError
 from .graph import Network

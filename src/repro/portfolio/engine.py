@@ -75,6 +75,8 @@ from ..core.solution import Solution
 from ..core.synthesizer import MODE_STABILITY, SynthesisResult
 from . import sharing
 from .faults import FaultPlan, InjectedCrash, wrap_emit
+from .frames import (KIND_ARTIFACT, KIND_HEARTBEAT, KIND_RESULT,
+                     KIND_STAGE_FROZEN)
 from .sharing import KnowledgePool
 from .strategies import Strategy, default_portfolio
 from .supervision import (DeadlineWatchdog, SupervisionPolicy, Supervisor,
@@ -280,7 +282,7 @@ def _execute_strategy(problem, strategy: Strategy, emit=None,
         on_event = None
         if emit is not None:
             def on_event(event: dict) -> None:
-                if event.get("kind") == "stage_frozen":
+                if event.get("kind") == KIND_STAGE_FROZEN:
                     emit(sharing.prefix_artifact(opts, event["stage"],
                                                  event["fixed"]))
         with DeadlineWatchdog(engine, deadline):
@@ -306,7 +308,7 @@ def _strategy_worker(conn, problem, strategy: Strategy, share: bool = False,
         emit = None
         if share:
             def emit(artifact: dict) -> None:
-                conn.send({"kind": "artifact", "artifact": artifact})
+                conn.send({"kind": KIND_ARTIFACT, "artifact": artifact})
 
         # Liveness: one frame at attempt start (before any injected
         # slow-start/hang, so the stall clock starts from real signal),
@@ -333,10 +335,10 @@ def _strategy_worker(conn, problem, strategy: Strategy, share: bool = False,
             # hard so no atexit machinery sends anything on our behalf.
             conn.close()
             os._exit(0)
-        conn.send({"kind": "result", "payload": payload})
+        conn.send({"kind": KIND_RESULT, "payload": payload})
     except Exception as exc:  # noqa: BLE001
         try:
-            conn.send({"kind": "result",
+            conn.send({"kind": KIND_RESULT,
                        "payload": {"status": STATUS_ERROR,
                                    "error": f"{type(exc).__name__}: {exc}"}})
         except Exception:
@@ -594,17 +596,17 @@ def _race_processes(
         try:
             while att.conn.poll():
                 msg = att.conn.recv()
-                if isinstance(msg, dict) and msg.get("kind") == "heartbeat":
+                if isinstance(msg, dict) and msg.get("kind") == KIND_HEARTBEAT:
                     att.last_signal = time.perf_counter()
                     supervisor.note_heartbeat(name, msg)
                     continue
-                if isinstance(msg, dict) and msg.get("kind") == "artifact":
+                if isinstance(msg, dict) and msg.get("kind") == KIND_ARTIFACT:
                     att.last_signal = time.perf_counter()
                     if pool is not None and not pool.absorb(
                             msg.get("artifact"), source=name):
                         supervisor.note_quarantined(name)
                     continue
-                if isinstance(msg, dict) and msg.get("kind") == "result":
+                if isinstance(msg, dict) and msg.get("kind") == KIND_RESULT:
                     return ("result", msg.get("payload"))
                 # Unknown frame shape: quarantine it, keep listening —
                 # one garbled frame must not cost the whole attempt.
@@ -633,7 +635,7 @@ def _race_processes(
         try:
             while conn.poll():
                 msg = conn.recv()
-                if isinstance(msg, dict) and msg.get("kind") == "artifact":
+                if isinstance(msg, dict) and msg.get("kind") == KIND_ARTIFACT:
                     if pool is not None and not pool.absorb(
                             msg.get("artifact"), source=source):
                         supervisor.note_quarantined(source)

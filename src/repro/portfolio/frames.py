@@ -1,0 +1,70 @@
+"""The frame-kind registry: every ``{"kind": ...}`` wire vocabulary.
+
+Workers, the portfolio parent, the service workers and the knowledge
+cache all exchange dict frames discriminated by a ``"kind"`` key.  Those
+kind strings used to be scattered string literals across five modules —
+exactly the drift class the ``frame-drift`` static checker
+(:mod:`repro.analysis`) now gates: a frame kind constructed somewhere
+that no consumer dispatches on (or consumed but never constructed) is a
+protocol bug waiting for a quiet pipe.
+
+This module is the single source of truth.  Construction sites must use
+these constants (the checker flags bare literals at construction sites),
+and the checker cross-references every constructed and consumed kind
+against :data:`FRAME_KINDS`.
+
+Three sub-vocabularies share the ``"kind"`` key:
+
+* **Pipe frames** (:data:`PIPE_KINDS`) — parent <-> worker traffic on
+  the multiprocessing pipes: liveness, streamed knowledge, results, and
+  the service workers' request/shutdown envelope.
+* **Artifact kinds** (:data:`ARTIFACT_KINDS`) — the knowledge payloads
+  of :mod:`repro.portfolio.sharing` (also persisted by the service
+  cache); validated at every pool boundary.
+* **Event kinds** (:data:`EVENT_KINDS`) — in-process synthesis progress
+  events (``core.solve(on_event=)``).
+"""
+
+from __future__ import annotations
+
+# -- pipe frames -----------------------------------------------------------
+
+#: Worker liveness frame (see :mod:`repro.portfolio.supervision`).
+KIND_HEARTBEAT = "heartbeat"
+#: A knowledge artifact streamed mid-race (payload under ``"artifact"``).
+KIND_ARTIFACT = "artifact"
+#: A worker's terminal answer (payload under ``"payload"``).
+KIND_RESULT = "result"
+#: Service parent -> worker: solve this request.
+KIND_REQUEST = "request"
+#: Service parent -> worker: exit the request loop cleanly.
+KIND_SHUTDOWN = "shutdown"
+
+# -- knowledge artifact kinds (see repro.portfolio.sharing) ----------------
+
+#: Learned clauses over the shared schedule vocabulary.
+ARTIFACT_CLAUSES = "clauses"
+#: A proven-doomed route-subset selection.
+ARTIFACT_VETO = "veto"
+#: Frozen schedules of an incremental strategy's completed stages.
+ARTIFACT_PREFIX = "prefix"
+
+# -- synthesis progress events (core.solve on_event hook) ------------------
+
+#: An incremental stage froze its schedules (payload: stage, fixed).
+KIND_STAGE_FROZEN = "stage_frozen"
+
+# -- registry --------------------------------------------------------------
+
+PIPE_KINDS = frozenset({
+    KIND_HEARTBEAT, KIND_ARTIFACT, KIND_RESULT, KIND_REQUEST, KIND_SHUTDOWN,
+})
+ARTIFACT_KINDS = frozenset({
+    ARTIFACT_CLAUSES, ARTIFACT_VETO, ARTIFACT_PREFIX,
+})
+EVENT_KINDS = frozenset({
+    KIND_STAGE_FROZEN,
+})
+
+#: Every frame kind any producer may construct or consumer dispatch on.
+FRAME_KINDS = PIPE_KINDS | ARTIFACT_KINDS | EVENT_KINDS

@@ -61,6 +61,8 @@ from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..smt.terms import Atom, BoolExpr, BoolVar, Or
+from .frames import (ARTIFACT_CLAUSES, ARTIFACT_KINDS, ARTIFACT_PREFIX,
+                     ARTIFACT_VETO)
 
 #: Export caps: clause literal count, learning-time LBD, clauses per
 #: exporting strategy.  Small on purpose — shared clauses are hints, and
@@ -187,7 +189,7 @@ def prefix_artifact(options, stage_idx: int, fixed: Sequence) -> dict:
         for fm in fixed
     )
     return {
-        "kind": "prefix",
+        "kind": ARTIFACT_PREFIX,
         "signature": signature_of(options),
         "stages_completed": stage_idx + 1,
         "messages": messages,
@@ -231,7 +233,7 @@ def terminal_artifacts(options, result, engine) -> List[dict]:
     sig = signature_of(options)
     if result.route_veto:
         artifacts.append({
-            "kind": "veto",
+            "kind": ARTIFACT_VETO,
             "signature": sig,
             "limits": tuple(result.route_veto),
         })
@@ -239,7 +241,7 @@ def terminal_artifacts(options, result, engine) -> List[dict]:
         clauses = _exportable_clauses(engine)
         if clauses:
             artifacts.append({
-                "kind": "clauses",
+                "kind": ARTIFACT_CLAUSES,
                 "signature": sig,
                 "clauses": clauses,
             })
@@ -268,7 +270,7 @@ def restart_artifacts(options, engine) -> List[dict]:
     if not clauses:
         return []
     return [{
-        "kind": "clauses",
+        "kind": ARTIFACT_CLAUSES,
         "signature": signature_of(options),
         "clauses": clauses,
         "origin": "mid-check",
@@ -307,11 +309,11 @@ def validate_artifact(artifact) -> Optional[str]:
     if not isinstance(artifact, dict):
         return f"not a dict: {type(artifact).__name__}"
     kind = artifact.get("kind")
-    if kind not in ("clauses", "veto", "prefix"):
+    if kind not in ARTIFACT_KINDS:
         return f"unknown artifact kind {kind!r}"
     if not isinstance(artifact.get("signature"), StrategySignature):
         return "missing/invalid strategy signature"
-    if kind == "clauses":
+    if kind == ARTIFACT_CLAUSES:
         clauses = artifact.get("clauses")
         if not isinstance(clauses, tuple):
             return "clauses payload is not a tuple"
@@ -320,7 +322,7 @@ def validate_artifact(artifact) -> Optional[str]:
                 return f"malformed clause {clause!r:.60}"
             if not all(_valid_literal(lit) for lit in clause):
                 return f"malformed literal in clause {clause!r:.60}"
-    elif kind == "veto":
+    elif kind == ARTIFACT_VETO:
         limits = artifact.get("limits")
         if not isinstance(limits, tuple) or not limits:
             return "veto without limits"
@@ -329,7 +331,7 @@ def validate_artifact(artifact) -> Optional[str]:
                     or not isinstance(entry[0], str)
                     or not isinstance(entry[1], int) or entry[1] < 0):
                 return f"malformed veto limit {entry!r:.60}"
-    elif kind == "prefix":
+    elif kind == ARTIFACT_PREFIX:
         if not isinstance(artifact.get("stages_completed"), int):
             return "prefix without a stage count"
         messages = artifact.get("messages")
@@ -390,7 +392,7 @@ class KnowledgePool:
             return False
         kind = artifact.get("kind")
         sig = artifact.get("signature")
-        if kind == "clauses":
+        if kind == ARTIFACT_CLAUSES:
             bucket = self._clauses.setdefault(sig, {})
             fresh = 0
             for clause in artifact.get("clauses", ()):
@@ -402,13 +404,13 @@ class KnowledgePool:
             self.counters["clauses_pooled"] += fresh
             if fresh and artifact.get("origin") == "mid-check":
                 self.counters["midcheck_clauses_pooled"] += fresh
-        elif kind == "veto":
+        elif kind == ARTIFACT_VETO:
             limits = tuple(artifact.get("limits", ()))
             if limits and limits not in self._vetoes:
                 self._vetoes[limits] = RouteVeto(limits=limits, source=source)
                 self._veto_sigs[limits] = sig
                 self.counters["vetoes_pooled"] += 1
-        elif kind == "prefix":
+        elif kind == ARTIFACT_PREFIX:
             best = self._prefixes.get(sig)
             stages = artifact.get("stages_completed", 0)
             if best is None or stages > best.stages_completed:

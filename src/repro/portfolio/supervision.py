@@ -38,6 +38,8 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from .frames import KIND_HEARTBEAT
+
 #: Counter keys every supervisor report carries (zero-filled).
 _COUNTERS = (
     "crashes",              # attempts that died without a result
@@ -99,7 +101,7 @@ class SupervisionPolicy:
 def heartbeat_frame(strategy: str, statistics: Dict[str, int],
                     phase: str = "solve") -> dict:
     """A worker-side heartbeat frame carrying progress counters."""
-    frame = {"kind": "heartbeat", "strategy": strategy, "phase": phase}
+    frame = {"kind": KIND_HEARTBEAT, "strategy": strategy, "phase": phase}
     for key in _HEARTBEAT_STATS:
         frame[key] = int(statistics.get(key, 0))
     return frame
@@ -107,7 +109,7 @@ def heartbeat_frame(strategy: str, statistics: Dict[str, int],
 
 def valid_heartbeat(frame) -> bool:
     """Pool-boundary validation of a heartbeat frame (quarantine gate)."""
-    if not isinstance(frame, dict) or frame.get("kind") != "heartbeat":
+    if not isinstance(frame, dict) or frame.get("kind") != KIND_HEARTBEAT:
         return False
     return all(isinstance(frame.get(key), int) for key in _HEARTBEAT_STATS)
 

@@ -39,6 +39,8 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from ..portfolio import sharing
+from ..portfolio.frames import (ARTIFACT_CLAUSES, ARTIFACT_PREFIX,
+                                ARTIFACT_VETO)
 from ..portfolio.sharing import (ClauseBatch, RouteVeto, SeedKnowledge,
                                  StagePrefix, signature_of)
 from . import fingerprint as fp
@@ -131,17 +133,20 @@ class CacheEntry:
         sig = signature_of(_OptionsView(self.options))
         if self.clauses:
             problem = sharing.validate_artifact(
-                {"kind": "clauses", "signature": sig, "clauses": self.clauses})
+                {"kind": ARTIFACT_CLAUSES, "signature": sig,
+                 "clauses": self.clauses})
             if problem is not None:
                 raise ValueError(f"cached clauses invalid: {problem}")
         if self.route_veto is not None:
             problem = sharing.validate_artifact(
-                {"kind": "veto", "signature": sig, "limits": self.route_veto})
+                {"kind": ARTIFACT_VETO, "signature": sig,
+                 "limits": self.route_veto})
             if problem is not None:
                 raise ValueError(f"cached veto invalid: {problem}")
         if self.schedule:
             problem = sharing.validate_artifact(
-                {"kind": "prefix", "signature": sig, "stages_completed": 1,
+                {"kind": ARTIFACT_PREFIX, "signature": sig,
+                 "stages_completed": 1,
                  "messages": self.schedule})
             if problem is not None:
                 raise ValueError(f"cached schedule invalid: {problem}")

@@ -66,7 +66,7 @@ def _frac_to_wire(value: Fraction) -> str:
     return str(Fraction(value))
 
 
-def _frac_from_wire(value) -> Fraction:
+def _frac_from_wire(value: object) -> Fraction:
     if isinstance(value, Fraction):
         return value
     if isinstance(value, (str, int)):

@@ -372,6 +372,10 @@ class SynthesisServer:
                              "error": f"worker crashed, retries exhausted: "
                                       f"{exc}"}, attempt)
                 self.supervisor.note_retry(_STRATEGY)
+                # repro: allow[async-blocking] _solve_blocking only ever
+                # runs on the loop's default executor (see _solve:
+                # run_in_executor), so this backoff sleeps a worker
+                # thread, never the event loop.
                 time.sleep(self.policy.supervision.backoff(attempt))
                 attempt += 1
 

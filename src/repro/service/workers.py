@@ -38,6 +38,8 @@ from ..api import NativeBackend, Session
 from ..core import synthesizer as synth
 from ..portfolio import sharing
 from ..portfolio.faults import InjectedCrash
+from ..portfolio.frames import (KIND_HEARTBEAT, KIND_REQUEST, KIND_RESULT,
+                                KIND_SHUTDOWN)
 from ..portfolio.supervision import (DeadlineWatchdog, SupervisionPolicy,
                                      heartbeat_frame)
 from .protocol import schedules_to_wire
@@ -254,9 +256,9 @@ def service_worker_main(conn, heartbeat_interval: float) -> None:
         except (EOFError, OSError):
             break
         kind = msg.get("kind")
-        if kind == "shutdown":
+        if kind == KIND_SHUTDOWN:
             break
-        if kind != "request":
+        if kind != KIND_REQUEST:
             continue
         try:
             payload = _solve_request(
@@ -274,7 +276,7 @@ def service_worker_main(conn, heartbeat_interval: float) -> None:
                        "deadline_exceeded": False,
                        "error": f"{type(exc).__name__}: {exc}"}
         try:
-            conn.send({"kind": "result", "id": msg.get("id"),
+            conn.send({"kind": KIND_RESULT, "id": msg.get("id"),
                        "payload": payload})
         except (BrokenPipeError, OSError):
             break
@@ -353,7 +355,7 @@ class ServiceWorker:
         """Graceful shutdown: ask nicely, then reap."""
         if self._conn is not None and self.alive:
             try:
-                self._conn.send({"kind": "shutdown"})
+                self._conn.send({"kind": KIND_SHUTDOWN})
                 self._proc.join(self.policy.kill_grace)
             except (BrokenPipeError, OSError):
                 pass
@@ -384,7 +386,7 @@ class ServiceWorker:
         if not self.alive:
             raise WorkerCrashed(f"worker {self.name} is not running")
         try:
-            self._conn.send({"kind": "request", "id": request_id,
+            self._conn.send({"kind": KIND_REQUEST, "id": request_id,
                              "problem": problem, "options": options,
                              "deadline": deadline})
         except (BrokenPipeError, OSError) as exc:
@@ -403,9 +405,9 @@ class ServiceWorker:
                     f"worker {self.name} died mid-request") from None
             if frame is not None:
                 kind = frame.get("kind")
-                if kind == "result" and frame.get("id") == request_id:
+                if kind == KIND_RESULT and frame.get("id") == request_id:
                     return frame["payload"]
-                if kind == "heartbeat" and on_heartbeat is not None:
+                if kind == KIND_HEARTBEAT and on_heartbeat is not None:
                     on_heartbeat(frame)
                 continue
             if not self.alive:
@@ -413,7 +415,7 @@ class ServiceWorker:
                 try:
                     while self._conn.poll(0):
                         frame = self._conn.recv()
-                        if (frame.get("kind") == "result"
+                        if (frame.get("kind") == KIND_RESULT
                                 and frame.get("id") == request_id):
                             return frame["payload"]
                 except (EOFError, OSError):

@@ -6,7 +6,7 @@ import heapq
 import itertools
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Any, Callable, Optional
+from typing import Any, Optional
 
 from ..errors import SimulationError
 

@@ -18,7 +18,7 @@ the loop between the SMT model and the 802.1Qbv machinery.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, List, Tuple
 

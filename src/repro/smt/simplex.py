@@ -37,11 +37,12 @@ from .rationals import DeltaRational, materialize_delta
 
 NO_LIT = -1
 
-_INF = float("inf")
+# Float-mirror sentinel: advisory prefilter only, never a lemma source.
+_INF = float("inf")  # repro: allow[exact-arith]
 
 #: Relative guard band for the float pre-filter: float comparisons whose
 #: operands differ by less than this (relative) margin are re-done exactly.
-_FLOAT_GUARD = 1e-6
+_FLOAT_GUARD = 1e-6  # repro: allow[exact-arith] advisory mirror constant
 
 
 class Simplex:
@@ -108,7 +109,7 @@ class Simplex:
         self._upper_lit.append(NO_LIT)
         self._beta_r.append(_F0)
         self._beta_d.append(_F0)
-        self._beta_f.append(0.0)
+        self._beta_f.append(0.0)  # repro: allow[exact-arith] float mirror
         self._lower_f.append(-_INF)
         self._upper_f.append(_INF)
         self._is_basic.append(False)
@@ -178,6 +179,7 @@ class Simplex:
                 self._lower[var] = old_bound
                 self._lower_lit[var] = old_lit
                 if mirror:
+                    # repro: allow[exact-arith] float-mirror resync
                     self._lower_f[var] = (
                         float(old_bound.real) if old_bound is not None else -_INF
                     )
@@ -185,6 +187,7 @@ class Simplex:
                 self._upper[var] = old_bound
                 self._upper_lit[var] = old_lit
                 if mirror:
+                    # repro: allow[exact-arith] float-mirror resync
                     self._upper_f[var] = (
                         float(old_bound.real) if old_bound is not None else _INF
                     )
@@ -209,6 +212,7 @@ class Simplex:
             self._lower[var] = bound
             self._lower_lit[var] = lit
             if self._float_prefilter:
+                # repro: allow[exact-arith] float-mirror update
                 self._lower_f[var] = float(bound.real)
             if fresh_touch:
                 self.touched_bounds.add(var)
@@ -234,6 +238,7 @@ class Simplex:
             self._upper[var] = bound
             self._upper_lit[var] = lit
             if self._float_prefilter:
+                # repro: allow[exact-arith] float-mirror update
                 self._upper_f[var] = float(bound.real)
             if fresh_touch:
                 self.touched_bounds.add(var)
@@ -258,8 +263,9 @@ class Simplex:
         """beta[var] < bound?"""
         if self._float_prefilter:
             diff = self._beta_f[var] - self._lower_f[var]
+            # repro: allow[exact-arith] guarded prefilter comparison
             if abs(diff) > _FLOAT_GUARD * (1.0 + abs(self._beta_f[var])):
-                return diff < 0.0
+                return diff < 0.0  # repro: allow[exact-arith]
         r = self._beta_r[var]
         br = bound.real
         lhs = r.numerator * br.denominator
@@ -274,8 +280,9 @@ class Simplex:
         """beta[var] > bound?"""
         if self._float_prefilter:
             diff = self._beta_f[var] - self._upper_f[var]
+            # repro: allow[exact-arith] guarded prefilter comparison
             if abs(diff) > _FLOAT_GUARD * (1.0 + abs(self._beta_f[var])):
-                return diff > 0.0
+                return diff > 0.0  # repro: allow[exact-arith]
         r = self._beta_r[var]
         br = bound.real
         lhs = r.numerator * br.denominator
@@ -318,10 +325,11 @@ class Simplex:
         """
         r = self._beta_r[var]
         try:
+            # repro: allow[exact-arith] int/int -> float is the mirror's job
             self._beta_f[var] = r.numerator / r.denominator
         except OverflowError:
             # Magnitude beyond float range: force the exact fallback.
-            self._beta_f[var] = float("nan")
+            self._beta_f[var] = float("nan")  # repro: allow[exact-arith]
 
     # ------------------------------------------------------------------
     # Check (Bland's rule)
@@ -456,7 +464,7 @@ class Simplex:
         rows[basic] = None
         a = row[nonbasic]
         # Solve the row for `nonbasic`: nonbasic = basic/a - sum(others)/a.
-        inv_a = _F1 / a
+        inv_a = _F1 / a  # repro: allow[exact-arith] Fraction/Fraction is exact
         new_row: Dict[int, Fraction] = {basic: inv_a}
         for v, c in row.items():
             if v != nonbasic:

@@ -44,7 +44,7 @@ from fractions import Fraction
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..errors import SolverError
-from ..sat.literals import TRUE, is_positive, neg, var_of
+from ..sat.literals import is_positive, neg, var_of
 from ..sat.solver import SatSolver
 from .cnf import CnfConverter
 from .terms import (

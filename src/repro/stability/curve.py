@@ -7,7 +7,7 @@ Fig. 3 ("the area below the curve is the stable area").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np

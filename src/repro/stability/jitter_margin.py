@@ -37,7 +37,7 @@ from typing import Optional
 import numpy as np
 
 from ..errors import StabilityAnalysisError
-from ..control.discretize import c2d, c2d_delayed
+from ..control.discretize import c2d_delayed
 from ..control.lqg import closed_loop
 from ..control.lti import StateSpace
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import List, Sequence, Tuple, Union
+from typing import List, Tuple, Union
 
 from ..errors import StabilityAnalysisError
 from .curve import StabilityCurve

@@ -1,0 +1,418 @@
+"""Per-checker fixture proof: each rule fires, stays quiet, suppresses.
+
+Every checker gets (at least) the trio the analysis PR promises: a
+violating snippet with golden finding output, a clean snippet, and a
+suppressed snippet.  Checkers are instantiated with open scopes (or
+fixture-keyed contracts) so the tmp-dir fixture modules are in scope.
+"""
+
+import textwrap
+
+from repro.analysis import analyze
+from repro.analysis.checkers.async_blocking import AsyncBlockingChecker
+from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.exact_arith import ExactArithChecker
+from repro.analysis.checkers.frame_drift import FrameDriftChecker
+from repro.analysis.checkers.resource_hygiene import ResourceHygieneChecker
+from repro.analysis.checkers.trail_discipline import TrailDisciplineChecker
+
+
+def run(tmp_path, checker, source, name="snippet.py"):
+    (tmp_path / name).write_text(textwrap.dedent(source))
+    return analyze([tmp_path], [checker])
+
+
+def golden(report):
+    return [(f.line, f.message, f.suppressed) for f in report.findings]
+
+
+class TestExactArith:
+    def test_violations_golden(self, tmp_path):
+        report = run(tmp_path, ExactArithChecker(scope=()), """\
+            x = float(3)
+            y = 1.5
+            z = x / y
+            z /= 2
+            """)
+        assert golden(report) == [
+            (1, "float(...) cast in exact-arithmetic module", False),
+            (2, "float literal 1.5 in exact-arithmetic module", False),
+            (3, "true division `/` in exact-arithmetic module (use `//` "
+                "on scaled ints, or annotate exact Fraction division)",
+             False),
+            (4, "in-place true division `/=` in exact-arithmetic module",
+             False),
+        ]
+
+    def test_clean(self, tmp_path):
+        report = run(tmp_path, ExactArithChecker(scope=()), """\
+            from fractions import Fraction
+            x = Fraction(1, 3)
+            y = 7 // 2
+            z = int("4")
+            """)
+        assert report.findings == []
+
+    def test_suppressed(self, tmp_path):
+        report = run(tmp_path, ExactArithChecker(scope=()), """\
+            x = float(3)  # repro: allow[exact-arith] advisory mirror
+            """)
+        assert [f.suppressed for f in report.findings] == [True]
+        assert report.ok
+
+    def test_default_scope_excludes_other_modules(self, tmp_path):
+        report = run(tmp_path, ExactArithChecker(), "x = 1.5\n")
+        assert report.findings == []
+
+
+class TestFrameDrift:
+    def test_bare_literal_and_unknown_kind(self, tmp_path):
+        report = run(tmp_path, FrameDriftChecker(scope=()), """\
+            from repro.portfolio.frames import KIND_RESULT
+
+            def emit(conn):
+                conn.send({"kind": "result", "payload": 1})
+
+            def emit2(conn):
+                conn.send({"kind": UNKNOWN_KIND, "payload": 1})
+
+            def pump(msg):
+                return msg.get("kind") == KIND_RESULT
+            """)
+        messages = [f.message for f in report.unsuppressed]
+        assert ("frame kind constructed as bare literal 'result'; use the "
+                "repro.portfolio.frames constant") in messages
+        assert ("frame kind constructed from an expression the registry "
+                "cannot resolve") in messages
+
+    def test_constructed_without_consumer_is_drift(self, tmp_path):
+        report = run(tmp_path, FrameDriftChecker(scope=()), """\
+            from repro.portfolio.frames import KIND_HEARTBEAT
+
+            def emit(conn):
+                conn.send({"kind": KIND_HEARTBEAT})
+            """)
+        assert [f.message for f in report.findings] == [
+            "frame kind 'heartbeat' is constructed but no consumer "
+            "dispatches on it"]
+
+    def test_consumed_without_producer_is_drift(self, tmp_path):
+        report = run(tmp_path, FrameDriftChecker(scope=()), """\
+            from repro.portfolio.frames import KIND_SHUTDOWN
+
+            def pump(msg):
+                return msg.get("kind") == KIND_SHUTDOWN
+            """)
+        assert [f.message for f in report.findings] == [
+            "consumer dispatches on frame kind 'shutdown' but nothing "
+            "constructs it"]
+
+    def test_off_registry_dispatch(self, tmp_path):
+        report = run(tmp_path, FrameDriftChecker(scope=()), """\
+            def pump(msg):
+                kind = msg.get("kind")
+                return kind == "never-registered"
+            """)
+        assert any("not in the frames registry" in f.message
+                   for f in report.findings)
+
+    def test_clean_pair_and_membership_dispatch(self, tmp_path):
+        report = run(tmp_path, FrameDriftChecker(scope=()), """\
+            from repro.portfolio.frames import (ARTIFACT_CLAUSES,
+                                                ARTIFACT_KINDS,
+                                                ARTIFACT_PREFIX,
+                                                ARTIFACT_VETO)
+
+            def emit(conn):
+                conn.send({"kind": ARTIFACT_CLAUSES})
+                conn.send({"kind": ARTIFACT_VETO})
+                conn.send({"kind": ARTIFACT_PREFIX})
+
+            def absorb(artifact):
+                return artifact.get("kind") in ARTIFACT_KINDS
+            """)
+        assert report.findings == []
+
+    def test_suppressed_forged_kind(self, tmp_path):
+        report = run(tmp_path, FrameDriftChecker(scope=()), """\
+            def forge(frame):
+                # repro: allow[frame-drift] deliberate corruption fixture
+                frame["kind"] = "forged"
+                return frame
+            """)
+        assert report.findings and report.ok
+
+    def test_cross_file_pairing(self, tmp_path):
+        (tmp_path / "producer.py").write_text(textwrap.dedent("""\
+            from repro.portfolio.frames import KIND_REQUEST
+
+            def ask(conn):
+                conn.send({"kind": KIND_REQUEST})
+            """))
+        (tmp_path / "consumer.py").write_text(textwrap.dedent("""\
+            def serve(msg):
+                return msg.get("kind") == "request"
+            """))
+        report = analyze([tmp_path], [FrameDriftChecker(scope=())])
+        assert report.findings == []
+
+
+class TestResourceHygiene:
+    def test_never_closed(self, tmp_path):
+        report = run(tmp_path, ResourceHygieneChecker(scope=()), """\
+            import multiprocessing as mp
+
+            def leak():
+                parent, child = mp.Pipe()
+                parent.send(1)
+            """)
+        assert sorted(f.message for f in report.findings) == [
+            "connection 'child' is created here but never closed, joined "
+            "or handed off",
+            "connection 'parent' is created here but never closed, joined "
+            "or handed off",
+        ]
+
+    def test_conditional_only_cleanup(self, tmp_path):
+        report = run(tmp_path, ResourceHygieneChecker(scope=()), """\
+            import multiprocessing as mp
+
+            def racy(flag):
+                parent, child = mp.Pipe()
+                child.close()
+                if flag:
+                    parent.close()
+            """)
+        assert [f.message for f in report.findings] == [
+            "connection 'parent' is only cleaned up on conditional paths; "
+            "move a cleanup into a finally block or the unconditional path"]
+
+    def test_exception_path_only_cleanup(self, tmp_path):
+        report = run(tmp_path, ResourceHygieneChecker(scope=()), """\
+            import multiprocessing as mp
+
+            def on_error_only():
+                proc = mp.Process(target=print)
+                try:
+                    proc.start()
+                except OSError:
+                    proc.terminate()
+            """)
+        assert [f.message for f in report.findings] == [
+            "process 'proc' is only cleaned up on conditional paths; "
+            "move a cleanup into a finally block or the unconditional path"]
+
+    def test_clean_finally_and_escape(self, tmp_path):
+        report = run(tmp_path, ResourceHygieneChecker(scope=()), """\
+            import multiprocessing as mp
+
+            def finally_cleanup():
+                parent, child = mp.Pipe()
+                try:
+                    parent.send(1)
+                finally:
+                    parent.close()
+                    child.close()
+
+            def ownership_transfer(registry):
+                parent, child = mp.Pipe()
+                registry.adopt(parent)
+                return child
+            """)
+        assert report.findings == []
+
+    def test_suppressed(self, tmp_path):
+        report = run(tmp_path, ResourceHygieneChecker(scope=()), """\
+            import multiprocessing as mp
+
+            def leak():
+                # repro: allow[resource-hygiene] fixture leaks on purpose
+                parent, child = mp.Pipe()
+                parent.send(child)
+            """)
+        assert report.findings and report.ok
+
+
+class TestAsyncBlocking:
+    def test_blocking_calls_in_coroutine(self, tmp_path):
+        report = run(tmp_path, AsyncBlockingChecker(scope=()), """\
+            import time
+
+            async def handler(conn):
+                time.sleep(1)
+                frame = conn.recv()
+                with open("log.txt") as fh:
+                    return fh, frame
+            """)
+        messages = sorted(f.message for f in report.findings)
+        assert messages == [
+            ".recv() inside async def can block the event loop; bridge "
+            "the Connection through an executor",
+            "sync open() inside async def blocks the event loop; do file "
+            "I/O on an executor",
+            "time.sleep inside async def blocks the event loop; use "
+            "await asyncio.sleep",
+        ]
+
+    def test_module_level_sleep_near_coroutines(self, tmp_path):
+        report = run(tmp_path, AsyncBlockingChecker(scope=()), """\
+            import time
+
+            async def serve():
+                return 1
+
+            def backoff_helper():
+                time.sleep(0.1)
+            """)
+        assert [f.message for f in report.findings] == [
+            "time.sleep in a module with async entry points; verify it "
+            "only runs on an executor thread and annotate it"]
+
+    def test_clean_async_sleep_and_pure_sync_module(self, tmp_path):
+        report = run(tmp_path, AsyncBlockingChecker(scope=()), """\
+            import asyncio
+
+            async def handler():
+                await asyncio.sleep(1)
+            """)
+        assert report.findings == []
+        report = run(tmp_path, AsyncBlockingChecker(scope=()), """\
+            import time
+
+            def sync_only():
+                time.sleep(1)
+            """, name="sync_mod.py")
+        assert [f.path for f in report.findings if "sync_mod" in f.path] == []
+
+    def test_nested_sync_def_is_executor_bound(self, tmp_path):
+        report = run(tmp_path, AsyncBlockingChecker(scope=()), """\
+            import time
+
+            async def handler(loop):
+                def blocking_work():
+                    data = compute()
+                    return data
+                return await loop.run_in_executor(None, blocking_work)
+            """)
+        assert report.findings == []
+
+    def test_suppressed(self, tmp_path):
+        report = run(tmp_path, AsyncBlockingChecker(scope=()), """\
+            import time
+
+            async def serve():
+                return 1
+
+            def backoff_helper():
+                # repro: allow[async-blocking] runs on the executor
+                time.sleep(0.1)
+            """)
+        assert report.findings and report.ok
+
+
+class TestTrailDiscipline:
+    CONTRACTS = {"snippet": ({"_trail", "_bounds"}, {"__init__", "record",
+                                                     "undo_to"})}
+
+    def test_rogue_mutations(self, tmp_path):
+        checker = TrailDisciplineChecker(contracts=self.CONTRACTS)
+        report = run(tmp_path, checker, """\
+            class Engine:
+                def __init__(self):
+                    self._trail = []
+                    self._bounds = {}
+
+                def record(self, entry):
+                    self._trail.append(entry)
+
+                def rogue(self, var, bound):
+                    self._bounds[var] = bound
+                    self._trail.pop()
+                    del self._bounds[var]
+            """)
+        assert [(f.line, f.message) for f in report.findings] == [
+            (10, "trail-backed self._bounds mutated in rogue(), which is "
+                 "not a registered trail-recording helper"),
+            (11, "trail-backed self._trail.pop() called in rogue(), which "
+                 "is not a registered trail-recording helper"),
+            (12, "trail-backed self._bounds mutated in rogue(), which is "
+                 "not a registered trail-recording helper"),
+        ]
+
+    def test_reads_are_fine(self, tmp_path):
+        checker = TrailDisciplineChecker(contracts=self.CONTRACTS)
+        report = run(tmp_path, checker, """\
+            class Engine:
+                def __init__(self):
+                    self._trail = []
+
+                def depth(self):
+                    return len(self._trail)
+
+                def peek(self):
+                    return self._trail[-1]
+            """)
+        assert report.findings == []
+
+    def test_suppressed(self, tmp_path):
+        checker = TrailDisciplineChecker(contracts=self.CONTRACTS)
+        report = run(tmp_path, checker, """\
+            class Engine:
+                def __init__(self):
+                    self._trail = []
+
+                def replay(self):
+                    self._trail.clear()  # repro: allow[trail-discipline]
+            """)
+        assert report.findings and report.ok
+
+
+class TestDeterminism:
+    def test_violations(self, tmp_path):
+        report = run(tmp_path, DeterminismChecker(scope=()), """\
+            import random
+            import time
+
+            def jitter():
+                return random.random() + random.Random().random()
+
+            def stamp():
+                return time.time()
+
+            def walk(items):
+                for item in set(items):
+                    yield item
+                return [x for x in set(items) & set(items)]
+            """)
+        messages = [f.message for f in report.findings]
+        assert sum("unseeded randomness" in m or "process-global" in m
+                   for m in messages) >= 2
+        assert any("wall clock" in m for m in messages)
+        assert sum("unordered set expression" in m for m in messages) == 2
+
+    def test_clean(self, tmp_path):
+        report = run(tmp_path, DeterminismChecker(scope=()), """\
+            import random
+            import time
+
+            def jitter(seed):
+                rng = random.Random(seed)
+                return rng.random()
+
+            def elapsed(t0):
+                return time.perf_counter() - t0
+
+            def walk(items):
+                for item in sorted(set(items)):
+                    yield item
+            """)
+        assert report.findings == []
+
+    def test_suppressed(self, tmp_path):
+        report = run(tmp_path, DeterminismChecker(scope=()), """\
+            import time
+
+            def stamp():
+                return time.time()  # repro: allow[determinism] log only
+            """)
+        assert report.findings and report.ok

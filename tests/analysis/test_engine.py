@@ -1,0 +1,124 @@
+"""Engine-level behavior: suppression, units, the report, the CLI."""
+
+import io
+import json
+import textwrap
+
+from repro.analysis import analyze, load_unit, scan_suppressions
+from repro.analysis.checkers.exact_arith import ExactArithChecker
+from repro.analysis.cli import run
+
+
+def _write(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+class TestSuppressionScanning:
+    def test_same_line_pragma(self):
+        allowed = scan_suppressions("x = 1.0  # repro: allow[exact-arith]\n")
+        assert allowed[1] == {"exact-arith"}
+
+    def test_comment_line_covers_next_code_line(self):
+        src = "# repro: allow[exact-arith] mirror region\nx = 1.0\n"
+        allowed = scan_suppressions(src)
+        assert "exact-arith" in allowed[1]
+        assert "exact-arith" in allowed[2]
+
+    def test_chains_through_comment_block(self):
+        src = ("# repro: allow[exact-arith] a justification\n"
+               "# that needs two lines\n"
+               "x = 1.0\n")
+        allowed = scan_suppressions(src)
+        assert "exact-arith" in allowed[3]
+
+    def test_pragma_inside_string_is_inert(self):
+        src = 's = "# repro: allow[exact-arith]"\nx = 1.0\n'
+        allowed = scan_suppressions(src)
+        assert allowed == {}
+
+    def test_multiple_rules_one_comment(self):
+        src = "y = 2  # repro: allow[a-rule] repro: allow[b-rule]\n"
+        allowed = scan_suppressions(src)
+        assert allowed[1] == {"a-rule", "b-rule"}
+
+
+class TestModuleUnit:
+    def test_module_name_inside_package(self, tmp_path):
+        pkg = tmp_path / "mypkg" / "sub"
+        pkg.mkdir(parents=True)
+        (tmp_path / "mypkg" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        mod = pkg / "thing.py"
+        mod.write_text("x = 1\n")
+        assert load_unit(mod).module == "mypkg.sub.thing"
+
+    def test_multiline_statement_anchor(self, tmp_path):
+        # Pragma above a parenthesized statement covers its later lines.
+        path = _write(tmp_path, "snippet.py", """\
+            # repro: allow[exact-arith] spans the whole statement
+            value = (
+                float(3)
+            )
+            """)
+        unit = load_unit(path)
+        assert unit.allows("exact-arith", 3)
+
+    def test_pragma_does_not_blanket_a_block(self, tmp_path):
+        path = _write(tmp_path, "snippet.py", """\
+            # repro: allow[exact-arith]
+            if True:
+                x = float(3)
+            """)
+        unit = load_unit(path)
+        assert not unit.allows("exact-arith", 3)
+
+
+class TestAnalyze:
+    def test_findings_sorted_and_stamped(self, tmp_path):
+        _write(tmp_path, "b.py", "y = float(2)\n")
+        _write(tmp_path, "a.py", "x = 1.5  # repro: allow[exact-arith]\n")
+        report = analyze([tmp_path], [ExactArithChecker(scope=())])
+        assert report.files_checked == 2
+        assert [f.suppressed for f in report.findings] == [True, False]
+        assert not report.ok
+        assert len(report.unsuppressed) == 1
+
+    def test_syntax_error_is_a_finding(self, tmp_path):
+        _write(tmp_path, "bad.py", "def broken(:\n")
+        report = analyze([tmp_path], [])
+        assert [f.rule for f in report.findings] == ["parse-error"]
+        assert not report.ok
+
+
+class TestCli:
+    def test_text_output_and_exit_codes(self, tmp_path):
+        _write(tmp_path, "clean.py", "x = 1\n")
+        out = io.StringIO()
+        assert run([str(tmp_path)], stream=out) == 0
+        assert "0 finding(s)" in out.getvalue()
+
+    def test_json_output_shape(self, tmp_path):
+        _write(tmp_path, "clean.py", "x = 1\n")
+        out = io.StringIO()
+        assert run([str(tmp_path), "--format=json"], stream=out) == 0
+        payload = json.loads(out.getvalue())
+        assert payload["ok"] is True
+        assert payload["files_checked"] == 1
+        assert len(payload["rules"]) == 6
+
+    def test_unknown_rule_filter_is_an_error(self, tmp_path):
+        assert run([str(tmp_path), "--rules=no-such-rule"],
+                   stream=io.StringIO()) == 2
+
+    def test_rule_filter_runs_subset(self, tmp_path):
+        _write(tmp_path, "f.py", "x = float(2)\n")
+        out = io.StringIO()
+        # exact-arith scoping excludes the fixture module, so a scoped
+        # run over it is clean even with the filter active.
+        code = run([str(tmp_path), "--rules=exact-arith",
+                    "--format=json"], stream=out)
+        payload = json.loads(out.getvalue())
+        assert payload["rules"] == ["exact-arith"]
+        assert code == 0

@@ -1,0 +1,31 @@
+"""The toolkit's own gate: the shipped tree has zero unsuppressed findings.
+
+This is the test-shaped twin of CI's ``analysis`` job — if a PR
+introduces a finding, it fails here first, with the rendered findings
+in the assertion message.
+"""
+
+from pathlib import Path
+
+from repro.analysis import analyze
+from repro.analysis.checkers import default_checkers
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def test_src_tree_is_clean():
+    report = analyze([REPO_SRC], default_checkers())
+    rendered = "\n".join(f.render() for f in report.unsuppressed)
+    assert report.ok, f"unsuppressed findings:\n{rendered}"
+    assert report.files_checked > 70
+
+
+def test_every_rule_is_exercised_by_a_suppression_or_scope():
+    # The tree's suppression inventory should stay tracked: if a rule's
+    # annotated sites disappear, this inventory check prompts a doc and
+    # baseline update rather than silent drift.
+    report = analyze([REPO_SRC], default_checkers())
+    suppressed_rules = {f.rule for f in report.findings if f.suppressed}
+    assert "exact-arith" in suppressed_rules
+    assert "frame-drift" in suppressed_rules
+    assert "async-blocking" in suppressed_rules
