@@ -15,12 +15,14 @@ from .async_blocking import AsyncBlockingChecker
 from .determinism import DeterminismChecker
 from .exact_arith import ExactArithChecker
 from .frame_drift import FrameDriftChecker
+from .frame_protocol import FrameProtocolChecker
 from .resource_hygiene import ResourceHygieneChecker
 from .trail_discipline import TrailDisciplineChecker
 
 ALL_CHECKER_TYPES = (
     ExactArithChecker,
     FrameDriftChecker,
+    FrameProtocolChecker,
     ResourceHygieneChecker,
     AsyncBlockingChecker,
     TrailDisciplineChecker,
@@ -39,6 +41,7 @@ __all__ = [
     "DeterminismChecker",
     "ExactArithChecker",
     "FrameDriftChecker",
+    "FrameProtocolChecker",
     "ResourceHygieneChecker",
     "TrailDisciplineChecker",
     "default_checkers",

@@ -1,10 +1,15 @@
 """``python -m repro.analysis`` — run the rule catalog over a tree.
 
-Exit status is 0 when every finding is suppressed (or there are none)
-and 1 otherwise, so CI can gate on it directly.  ``--format=json``
-emits the full machine-readable report (suppressed findings included,
-marked) for artifact upload; the default text format prints one
-``path:line: [rule] message`` per finding.
+Exit status is 0 when every finding is suppressed (or there are none),
+1 on unsuppressed findings, 2 on usage errors, and 3 when the run blew
+the ``--max-seconds`` wall-time budget, so CI can gate on it directly.
+``--format=json`` emits the full machine-readable report (suppressed
+findings included, marked) for artifact upload; ``--format=sarif``
+emits SARIF 2.1.0 for GitHub code scanning (suppressed findings carry
+an ``inSource`` suppression so they show as dismissed, not open); the
+default text format prints one ``path:line: [rule] message`` per
+finding.  ``--check-pragmas`` additionally turns stale suppression
+pragmas into findings.
 """
 
 from __future__ import annotations
@@ -12,11 +17,19 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from .checkers import default_checkers
-from .core import Report, analyze
+from .core import Checker, Report, analyze
+
+#: Engine-emitted rules that have no checker class behind them.
+_ENGINE_RULES = {
+    "parse-error": "file does not parse",
+    "unused-pragma": "suppression pragma that no longer suppresses "
+                     "anything (stale, unknown rule, or orphan :end)",
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -27,7 +40,7 @@ def build_parser() -> argparse.ArgumentParser:
         "paths", nargs="*", default=["src"],
         help="files or directories to analyze (default: src)")
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="output format (default: text)")
     parser.add_argument(
         "--rules", default=None,
@@ -35,6 +48,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--show-suppressed", action="store_true",
         help="include suppressed findings in text output")
+    parser.add_argument(
+        "--check-pragmas", action="store_true",
+        help="flag suppression pragmas that suppress nothing")
+    parser.add_argument(
+        "--max-seconds", type=float, default=None, metavar="S",
+        help="fail (exit 3) when analysis wall time exceeds S seconds")
     return parser
 
 
@@ -51,13 +70,78 @@ def run(argv: Optional[List[str]] = None,
                   file=sys.stderr)
             return 2
         checkers = [c for c in checkers if c.rule in wanted]
-    report = analyze([Path(p) for p in args.paths], checkers)
+    started = time.perf_counter()
+    report = analyze([Path(p) for p in args.paths], checkers,
+                     check_pragmas=args.check_pragmas)
+    elapsed = time.perf_counter() - started
     if args.format == "json":
         json.dump(report.to_dict(), out, indent=2, sort_keys=True)
         out.write("\n")
+    elif args.format == "sarif":
+        json.dump(to_sarif(report, checkers), out, indent=2,
+                  sort_keys=True)
+        out.write("\n")
     else:
         _render_text(report, out, show_suppressed=args.show_suppressed)
+    if args.max_seconds is not None and elapsed > args.max_seconds:
+        print(f"analysis wall time {elapsed:.2f}s exceeds the "
+              f"--max-seconds budget of {args.max_seconds:g}s",
+              file=sys.stderr)
+        return 3
     return 0 if report.ok else 1
+
+
+def to_sarif(report: Report, checkers: Sequence[Checker]) -> dict:
+    """The report as a SARIF 2.1.0 log (one run, one driver).
+
+    Suppressed findings are included with an ``inSource`` suppression
+    object, which GitHub code scanning renders as dismissed alerts —
+    the pragma inventory stays visible without opening alerts.
+    """
+    rule_meta = [
+        {"id": c.rule,
+         "shortDescription": {"text": c.description or c.rule},
+         "defaultConfiguration": {"level": "error"}}
+        for c in checkers
+    ]
+    known = {r["id"] for r in rule_meta}
+    emitted = sorted({f.rule for f in report.findings} - known)
+    rule_meta.extend(
+        {"id": rule,
+         "shortDescription": {"text": _ENGINE_RULES.get(rule, rule)},
+         "defaultConfiguration": {"level": "error"}}
+        for rule in emitted)
+    index = {meta["id"]: i for i, meta in enumerate(rule_meta)}
+    results = []
+    for f in report.findings:
+        result = {
+            "ruleId": f.rule,
+            "ruleIndex": index[f.rule],
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [{"physicalLocation": {
+                "artifactLocation": {"uri": f.path.replace("\\", "/"),
+                                     "uriBaseId": "%SRCROOT%"},
+                "region": {"startLine": max(f.line, 1)},
+            }}],
+        }
+        if f.suppressed:
+            result["suppressions"] = [{
+                "kind": "inSource",
+                "justification": "repro: allow pragma",
+            }]
+        results.append(result)
+    return {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "repro-analysis",
+                "rules": rule_meta,
+            }},
+            "results": results,
+        }],
+    }
 
 
 def _render_text(report: Report, out, show_suppressed: bool) -> None:

@@ -10,9 +10,16 @@ returns a :class:`Report` sorted for deterministic output.
 
 Suppression is source-level: a ``# repro: allow[rule-id]`` pragma on
 the finding's line, or on a comment-only line directly above it,
-silences that rule there.  Suppressed findings are kept in the report
-(JSON consumers see them with ``"suppressed": true``) but do not affect
-the exit status.
+silences that rule there.  A *region* pragma pair —
+``# repro: allow[rule-id]:begin <reason>`` ... ``# repro: allow[rule-id]:end``
+— silences the rule for every line in between, so a deliberately
+rule-breaking section (like the simplex float mirror) carries one
+justification instead of one pragma per line.  Suppressed findings are
+kept in the report (JSON consumers see them with ``"suppressed":
+true``) but do not affect the exit status.  Every pragma records
+whether it actually suppressed something; ``analyze(...,
+check_pragmas=True)`` turns the stale ones into unsuppressible
+``unused-pragma`` findings.
 """
 
 from __future__ import annotations
@@ -25,9 +32,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-#: ``repro: allow[rule-id]`` — matched inside comment tokens only, so
-#: the leading ``#`` is implied; several pragmas may share one comment.
-_ALLOW_RE = re.compile(r"repro:\s*allow\[([a-z0-9-]+)\]")
+#: ``repro: allow[...]`` with an optional ``:begin``/``:end`` region
+#: marker — matched inside comment tokens only, so the leading ``#`` is
+#: implied; several pragmas may share one comment.
+_ALLOW_RE = re.compile(r"repro:\s*allow\[([a-z0-9-]+)\](?::(begin|end))?")
 
 
 @dataclass(frozen=True)
@@ -50,6 +58,24 @@ class Finding:
 
 
 @dataclass
+class Pragma:
+    """One suppression comment, with its coverage and a used flag.
+
+    ``kind`` is ``"line"`` (plain pragma), ``"region"`` (a
+    ``:begin``/``:end`` pair — ``covers`` spans the whole region), or
+    ``"end"`` (an orphan ``:end`` with no opener, kept so
+    ``check_pragmas`` can flag it).  ``used`` is flipped by the engine
+    when the pragma suppresses at least one finding.
+    """
+
+    rule: str
+    line: int
+    kind: str
+    covers: Tuple[int, int]
+    used: bool = False
+
+
+@dataclass
 class ModuleUnit:
     """One parsed source file plus everything checkers need from it."""
 
@@ -60,15 +86,40 @@ class ModuleUnit:
     lines: List[str]             #: source split into lines (1-based via index-1)
     #: line -> rule ids allowed there (pragma on the line or just above)
     suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    #: every pragma comment, for used-tracking (empty on hand-built units)
+    pragmas: List[Pragma] = field(default_factory=list)
     #: line -> first line of the simple statement spanning it
     _anchors: Optional[Dict[int, int]] = field(default=None, repr=False)
 
     def allows(self, rule: str, line: int) -> bool:
+        if self.pragmas:
+            return self.suppressing_pragma(rule, line) is not None
         if rule in self.suppressions.get(line, ()):
             return True
         anchor = self._statement_anchors().get(line)
         return (anchor is not None
                 and rule in self.suppressions.get(anchor, ()))
+
+    def suppressing_pragma(self, rule: str, line: int) -> Optional[Pragma]:
+        """The pragma suppressing ``rule`` at ``line``, if any.
+
+        Line pragmas win over enclosing regions so used-tracking
+        credits the most specific annotation.
+        """
+        anchor = self._statement_anchors().get(line)
+        region: Optional[Pragma] = None
+        for p in self.pragmas:
+            if p.rule != rule or p.kind == "end":
+                continue
+            lo, hi = p.covers
+            if not (lo <= line <= hi
+                    or (anchor is not None and lo <= anchor <= hi)):
+                continue
+            if p.kind == "line":
+                return p
+            if region is None:
+                region = p
+        return region
 
     def _statement_anchors(self) -> Dict[int, int]:
         """Map every line of a multi-line *simple* statement to its first.
@@ -94,40 +145,74 @@ class ModuleUnit:
         return self._anchors
 
 
-def scan_suppressions(source: str) -> Dict[int, Set[str]]:
-    """Map each source line to the rule ids suppressed on it.
+def scan_pragmas(source: str) -> List[Pragma]:
+    """Every suppression pragma in ``source``, with coverage resolved.
 
-    A pragma covers its own line; a pragma on a *comment-only* line also
+    A line pragma covers its own line; on a *comment-only* line it also
     covers the code line the comment block precedes (chaining through
     any further comment-only lines), so a statement can carry a
-    multi-line justification comment above it.  Pragmas are read from
+    multi-line justification comment above it.  A ``:begin`` marker
+    opens a region closed by the next ``:end`` for the same rule (or
+    the end of file when unmatched); an ``:end`` with no opener is kept
+    as an orphan for ``check_pragmas`` to flag.  Pragmas are read from
     real tokens, not string-matched, so a pragma inside a string
     literal is inert.
     """
-    allowed: Dict[int, Set[str]] = {}
+    pragmas: List[Pragma] = []
     try:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
     except (tokenize.TokenError, IndentationError, SyntaxError):
-        return allowed
+        return pragmas
     lines = source.splitlines()
 
     def comment_only(line: int) -> bool:
         return (line <= len(lines)
                 and lines[line - 1].strip().startswith("#"))
 
+    open_regions: Dict[str, Pragma] = {}
     for tok in tokens:
         if tok.type != tokenize.COMMENT:
             continue
-        rules = set(_ALLOW_RE.findall(tok.string))
-        if not rules:
-            continue
         line = tok.start[0]
-        allowed.setdefault(line, set()).update(rules)
-        if comment_only(line):
-            nxt = line + 1
-            while comment_only(nxt):
-                nxt += 1
-            allowed.setdefault(nxt, set()).update(rules)
+        for match in _ALLOW_RE.finditer(tok.string):
+            rule, marker = match.group(1), match.group(2)
+            if marker == "begin":
+                pragma = Pragma(rule=rule, line=line, kind="region",
+                                covers=(line, max(len(lines), line)))
+                pragmas.append(pragma)
+                open_regions[rule] = pragma
+            elif marker == "end":
+                opener = open_regions.pop(rule, None)
+                if opener is not None:
+                    opener.covers = (opener.covers[0], line)
+                else:
+                    pragmas.append(Pragma(rule=rule, line=line, kind="end",
+                                          covers=(line, line)))
+            else:
+                cover_end = line
+                if comment_only(line):
+                    nxt = line + 1
+                    while comment_only(nxt):
+                        nxt += 1
+                    cover_end = nxt
+                pragmas.append(Pragma(rule=rule, line=line, kind="line",
+                                      covers=(line, cover_end)))
+    return pragmas
+
+
+def scan_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map each source line to the rule ids suppressed on it."""
+    allowed: Dict[int, Set[str]] = {}
+    for p in scan_pragmas(source):
+        if p.kind == "end":
+            continue
+        if p.kind == "line":
+            allowed.setdefault(p.line, set()).add(p.rule)
+            if p.covers[1] != p.line:
+                allowed.setdefault(p.covers[1], set()).add(p.rule)
+        else:
+            for line in range(p.covers[0], p.covers[1] + 1):
+                allowed.setdefault(line, set()).add(p.rule)
     return allowed
 
 
@@ -159,6 +244,7 @@ def load_unit(path: Path, display_path: Optional[str] = None) -> ModuleUnit:
         tree=tree,
         lines=source.splitlines(),
         suppressions=scan_suppressions(source),
+        pragmas=scan_pragmas(source),
     )
 
 
@@ -231,16 +317,54 @@ class Report:
 
 
 def _stamp(finding: Finding, unit: ModuleUnit) -> Finding:
-    if unit.allows(finding.rule, finding.line):
-        return Finding(rule=finding.rule, path=finding.path,
-                       line=finding.line, message=finding.message,
-                       suppressed=True)
-    return finding
+    if unit.pragmas:
+        pragma = unit.suppressing_pragma(finding.rule, finding.line)
+        if pragma is None:
+            return finding
+        pragma.used = True
+    elif not unit.allows(finding.rule, finding.line):
+        return finding
+    return Finding(rule=finding.rule, path=finding.path,
+                   line=finding.line, message=finding.message,
+                   suppressed=True)
+
+
+def _pragma_findings(units: Sequence[ModuleUnit],
+                     known_rules: Set[str]) -> List[Finding]:
+    """``unused-pragma`` findings: stale, unknown-rule, or orphan-end.
+
+    These are deliberately unsuppressible — a pragma cannot vouch for
+    itself; delete it or fix the rule id instead.
+    """
+    out: List[Finding] = []
+    for unit in units:
+        for p in unit.pragmas:
+            if p.kind == "end":
+                message = (f"allow[{p.rule}]:end has no matching :begin")
+            elif p.rule not in known_rules:
+                message = (f"pragma names unknown rule {p.rule!r}; "
+                           "known rules: "
+                           + ", ".join(sorted(known_rules)))
+            elif not p.used:
+                what = ("region suppresses no findings"
+                        if p.kind == "region" else "suppresses nothing")
+                message = (f"allow[{p.rule}] {what} — the code it excused "
+                           "moved or the rule got more precise; delete it")
+            else:
+                continue
+            out.append(Finding(rule="unused-pragma", path=unit.path,
+                               line=p.line, message=message))
+    return out
 
 
 def analyze(roots: Sequence[Path], checkers: Sequence[Checker],
-            ) -> Report:
-    """Run ``checkers`` over every python file under ``roots``."""
+            *, check_pragmas: bool = False) -> Report:
+    """Run ``checkers`` over every python file under ``roots``.
+
+    With ``check_pragmas``, pragmas that suppressed nothing (or name an
+    unknown rule, or are orphan ``:end`` markers) become unsuppressible
+    ``unused-pragma`` findings after the regular rules have run.
+    """
     units: List[ModuleUnit] = []
     findings: List[Finding] = []
     for path in iter_python_files(roots):
@@ -260,6 +384,9 @@ def analyze(roots: Sequence[Path], checkers: Sequence[Checker],
         for f in checker.check_project(scoped):
             unit = by_path.get(f.path)
             findings.append(_stamp(f, unit) if unit is not None else f)
+    if check_pragmas:
+        findings.extend(_pragma_findings(
+            units, {c.rule for c in checkers}))
     findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
     return Report(findings=findings, files_checked=len(units),
                   rules=[c.rule for c in checkers])

@@ -1,0 +1,49 @@
+"""Dataflow analysis over per-function control-flow graphs.
+
+PR 9's checkers were syntactic: they pattern-matched single AST nodes,
+so a float smuggled through a variable, or a cleanup call an early
+``return`` skips, passed unnoticed.  This package is the graduation to
+real dataflow:
+
+* :mod:`repro.analysis.dataflow.cfg` — a per-function (and per-module)
+  control-flow graph builder over :mod:`ast`: branches, loops with
+  ``else`` clauses, ``try``/``except``/``finally`` (finally bodies are
+  cloned per abrupt exit, so a ``return`` inside ``try`` runs the right
+  cleanup chain), ``with``, ``break``/``continue``/``return``/``raise``
+  edges, and known-noreturn calls (``os._exit``, ``sys.exit``).
+* :mod:`repro.analysis.dataflow.solver` — a generic forward/backward
+  worklist fixed-point solver over lattice facts, parameterized by
+  transfer and join; checkers re-walk blocks statement-by-statement
+  afterwards to anchor findings to lines.
+* :mod:`repro.analysis.dataflow.taint` — the float-taint lattice used by
+  ``exact-arith`` v2: sources (float literals and casts, ``time.*`` and
+  non-integer ``math.*``, true division between non-exact operands)
+  propagate through assignments, augmented assigns, tuple unpacking,
+  calls and comprehensions (with comprehension-scoped bindings) until
+  they reach an exact sink.
+
+The checkers rebased on this package (``exact-arith``,
+``resource-hygiene``, ``frame-protocol``) live in
+:mod:`repro.analysis.checkers`; see ``docs/analysis.md`` for the
+architecture notes and the approximations (implicit exceptions are
+modeled at block granularity, explicit ``raise`` precisely).
+"""
+
+from .cfg import CFG, Block, Edge, build_cfg, header_exprs, reachable_blocks
+from .solver import run_block, solve
+from .taint import ModuleTaint, eval_taint, join_envs, transfer_stmt
+
+__all__ = [
+    "CFG",
+    "Block",
+    "Edge",
+    "ModuleTaint",
+    "build_cfg",
+    "eval_taint",
+    "header_exprs",
+    "join_envs",
+    "reachable_blocks",
+    "run_block",
+    "solve",
+    "transfer_stmt",
+]

@@ -1,0 +1,473 @@
+"""Per-function control-flow graphs over :mod:`ast`.
+
+The graph is statement-granular: every :class:`Block` holds a run of
+simple statements, and compound statements contribute only their
+*header* (an ``If``'s test, a ``For``'s iterable, a ``With``'s context
+expressions) to the block that branches on them — bodies live in
+successor blocks.  Use :func:`header_exprs` in transfer functions to
+evaluate exactly the header of a compound element.
+
+Modeled control flow
+--------------------
+
+* ``if``/``elif``/``else`` with ``true``/``false`` edges.
+* ``while``/``for`` (+ ``else`` clauses) with back edges (``loop``) and
+  ``break``/``continue`` edges; a constant-true ``while`` gets no false
+  edge, so code after ``while True:`` without ``break`` is unreachable.
+* ``try``/``except``/``else``/``finally``: finally bodies are **cloned
+  per abrupt exit** — a ``return`` inside ``try`` flows through its own
+  copy of every enclosing ``finally`` chain before reaching the exit
+  block, which is what makes "must-happen-on-every-path" analyses
+  path-sensitive across cleanup code.  Explicit ``raise`` statements are
+  routed precisely (innermost registered handlers, else through the
+  finally chain to the exit block); *implicit* exceptions are modeled at
+  block granularity — every block of a ``try`` body gets an ``except``
+  edge to each handler entry, read as "control may leave this block for
+  the handler after its statements ran".
+* ``with``/``async with`` are transparent (headers in-block); the
+  ``__exit__`` cleanup semantics are a checker-level concern.
+* Known-noreturn calls: ``os._exit`` jumps straight to the exit block
+  (skipping finally clones, as at runtime); ``sys.exit`` routes through
+  the finally chain like a ``raise``.
+
+Not modeled (documented approximations): exceptions raised by arbitrary
+expressions do not create edges beyond the block-granular ``except``
+edges above; ``assert`` is a simple statement; dead code after a
+diverging statement is dropped.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+_NORETURN_DIRECT = {("os", "_exit")}
+_NORETURN_RAISING = {("sys", "exit")}
+
+
+class Edge:
+    """One directed control-flow edge with a kind tag."""
+
+    __slots__ = ("src", "dst", "kind")
+
+    def __init__(self, src: "Block", dst: "Block", kind: str) -> None:
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        return f"b{self.src.id} -> b{self.dst.id} [{self.kind}]"
+
+
+class Block:
+    """A straight-line run of statements (or compound-statement headers)."""
+
+    __slots__ = ("id", "label", "stmts", "succs", "preds")
+
+    def __init__(self, block_id: int, label: str) -> None:
+        self.id = block_id
+        self.label = label
+        self.stmts: List[ast.stmt] = []
+        self.succs: List[Edge] = []
+        self.preds: List[Edge] = []
+
+    def __repr__(self) -> str:
+        return f"<Block b{self.id} {self.label}>"
+
+
+class CFG:
+    """The control-flow graph of one function (or module) body."""
+
+    def __init__(self, node: ast.AST, blocks: List[Block],
+                 entry: Block, exit_block: Block) -> None:
+        self.node = node
+        self.blocks = blocks
+        self.entry = entry
+        self.exit = exit_block
+
+    def edges(self) -> List[Edge]:
+        out: List[Edge] = []
+        for block in self.blocks:
+            out.extend(block.succs)
+        return out
+
+    def edge_list(self) -> List[str]:
+        """Deterministic ``"label -> label kind"`` strings (golden fixtures)."""
+        names = {b.id: f"b{b.id}:{b.label}" for b in self.blocks}
+        return [f"{names[e.src.id]} -> {names[e.dst.id]} {e.kind}"
+                for e in self.edges()]
+
+    def dump(self) -> str:
+        """Stable text rendering: blocks with statement lines, then edges."""
+        lines = []
+        for block in self.blocks:
+            stmt_lines = ",".join(str(s.lineno) for s in block.stmts)
+            lines.append(f"b{block.id}:{block.label} [{stmt_lines}]")
+        lines.extend(self.edge_list())
+        return "\n".join(lines)
+
+
+def header_exprs(stmt: ast.stmt) -> Optional[List[ast.expr]]:
+    """The expressions a block evaluates for a compound-statement header.
+
+    Returns None for simple statements (the whole node is the element)
+    and a possibly-empty expression list for compound ones, so transfer
+    functions never accidentally descend into a body that lives in
+    other blocks.
+    """
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Try):
+        return []
+    if hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    return None
+
+
+class _Cleanup:
+    """One enclosing ``finally`` body and the context stacks it closes over."""
+
+    __slots__ = ("body", "index", "handlers_len", "loops_len", "regions_len")
+
+    def __init__(self, body, index, handlers_len, loops_len, regions_len):
+        self.body = body
+        self.index = index
+        self.handlers_len = handlers_len
+        self.loops_len = loops_len
+        self.regions_len = regions_len
+
+
+class _Handlers:
+    """The handler entries of one enclosing ``try`` with ``except`` arms."""
+
+    __slots__ = ("blocks", "cleanups_len")
+
+    def __init__(self, blocks: List[Block], cleanups_len: int) -> None:
+        self.blocks = blocks
+        self.cleanups_len = cleanups_len
+
+
+class _Loop:
+    __slots__ = ("head", "after", "cleanups_len")
+
+    def __init__(self, head: Block, after: Block, cleanups_len: int) -> None:
+        self.head = head
+        self.after = after
+        self.cleanups_len = cleanups_len
+
+
+class _Builder:
+    def __init__(self, node: ast.AST) -> None:
+        self.node = node
+        self.blocks: List[Block] = []
+        self.cleanups: List[_Cleanup] = []
+        self.handlers: List[_Handlers] = []
+        self.loops: List[_Loop] = []
+        #: Stack of block-id sets: one per ``try`` body being lowered,
+        #: for the block-granular implicit ``except`` edges.
+        self.regions: List[Set[int]] = []
+        self.entry = self.new_block("entry")
+        self.exit = self.new_block("exit")
+
+    # -- plumbing --------------------------------------------------------
+
+    def new_block(self, label: str) -> Block:
+        block = Block(len(self.blocks), label)
+        self.blocks.append(block)
+        for region in self.regions:
+            region.add(block.id)
+        return block
+
+    def edge(self, src: Block, dst: Block, kind: str) -> None:
+        for existing in src.succs:
+            if existing.dst is dst and existing.kind == kind:
+                return
+        e = Edge(src, dst, kind)
+        src.succs.append(e)
+        dst.preds.append(e)
+
+    # -- finally cloning -------------------------------------------------
+
+    def _run_cleanups(self, cur: Optional[Block],
+                      depth: int) -> Optional[Block]:
+        """Clone every finally body above ``depth``, innermost first.
+
+        Returns the block where control continues, or None when a clone
+        itself diverged (e.g. a ``return`` inside ``finally`` swallows
+        the original exit and routes on its own).
+        """
+        for frame in reversed(self.cleanups[depth:]):
+            if cur is None:
+                return None
+            saved = (self.cleanups, self.handlers, self.loops, self.regions)
+            self.cleanups = self.cleanups[:frame.index]
+            self.handlers = self.handlers[:frame.handlers_len]
+            self.loops = self.loops[:frame.loops_len]
+            self.regions = self.regions[:frame.regions_len]
+            entry = self.new_block("finally")
+            self.edge(cur, entry, "finally")
+            cur = self.lower_body(frame.body, entry)
+            (self.cleanups, self.handlers, self.loops, self.regions) = saved
+        return cur
+
+    # -- statement lowering ---------------------------------------------
+
+    def lower_body(self, stmts: Sequence[ast.stmt],
+                   cur: Optional[Block]) -> Optional[Block]:
+        for stmt in stmts:
+            if cur is None:
+                break  # dead code after a diverging statement: dropped
+            cur = self.lower_stmt(stmt, cur)
+        return cur
+
+    def lower_stmt(self, stmt: ast.stmt, cur: Block) -> Optional[Block]:
+        if isinstance(stmt, ast.If):
+            return self._lower_if(stmt, cur)
+        if isinstance(stmt, (ast.While,)):
+            return self._lower_while(stmt, cur)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._lower_for(stmt, cur)
+        if isinstance(stmt, ast.Try):
+            return self._lower_try(stmt, cur)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            cur.stmts.append(stmt)
+            return self.lower_body(stmt.body, cur)
+        if hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+            return self._lower_match(stmt, cur)
+        if isinstance(stmt, ast.Return):
+            cur.stmts.append(stmt)
+            end = self._run_cleanups(cur, 0)
+            if end is not None:
+                self.edge(end, self.exit, "return")
+            return None
+        if isinstance(stmt, ast.Raise):
+            return self._lower_raise(stmt, cur)
+        if isinstance(stmt, ast.Break):
+            cur.stmts.append(stmt)
+            if self.loops:
+                loop = self.loops[-1]
+                end = self._run_cleanups(cur, loop.cleanups_len)
+                if end is not None:
+                    self.edge(end, loop.after, "break")
+            return None
+        if isinstance(stmt, ast.Continue):
+            cur.stmts.append(stmt)
+            if self.loops:
+                loop = self.loops[-1]
+                end = self._run_cleanups(cur, loop.cleanups_len)
+                if end is not None:
+                    self.edge(end, loop.head, "continue")
+            return None
+        # Known-noreturn calls divert control like a return/raise.
+        noreturn = self._noreturn_kind(stmt)
+        if noreturn == "direct":
+            cur.stmts.append(stmt)
+            self.edge(cur, self.exit, "exit")
+            return None
+        if noreturn == "raising":
+            cur.stmts.append(stmt)
+            end = self._run_cleanups(cur, 0)
+            if end is not None:
+                self.edge(end, self.exit, "exit")
+            return None
+        # Everything else (incl. nested def/class) is a simple statement.
+        cur.stmts.append(stmt)
+        return cur
+
+    @staticmethod
+    def _noreturn_kind(stmt: ast.stmt) -> Optional[str]:
+        if not (isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Call)):
+            return None
+        func = stmt.value.func
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)):
+            pair = (func.value.id, func.attr)
+            if pair in _NORETURN_DIRECT:
+                return "direct"
+            if pair in _NORETURN_RAISING:
+                return "raising"
+        return None
+
+    def _lower_if(self, stmt: ast.If, cur: Block) -> Optional[Block]:
+        cur.stmts.append(stmt)
+        then_entry = self.new_block("then")
+        self.edge(cur, then_entry, "true")
+        then_end = self.lower_body(stmt.body, then_entry)
+        else_end: Optional[Block] = None
+        else_from_header = not stmt.orelse
+        if stmt.orelse:
+            else_entry = self.new_block("else")
+            self.edge(cur, else_entry, "false")
+            else_end = self.lower_body(stmt.orelse, else_entry)
+        if then_end is None and else_end is None and not else_from_header:
+            return None
+        join = self.new_block("join")
+        if else_from_header:
+            self.edge(cur, join, "false")
+        for end in (then_end, else_end):
+            if end is not None:
+                self.edge(end, join, "next")
+        return join
+
+    @staticmethod
+    def _constant_true(test: ast.expr) -> bool:
+        return isinstance(test, ast.Constant) and bool(test.value)
+
+    def _lower_while(self, stmt: ast.While, cur: Block) -> Optional[Block]:
+        head = self.new_block("while")
+        self.edge(cur, head, "next")
+        head.stmts.append(stmt)
+        after = self.new_block("after")
+        body_entry = self.new_block("body")
+        self.edge(head, body_entry, "true")
+        self.loops.append(_Loop(head, after, len(self.cleanups)))
+        body_end = self.lower_body(stmt.body, body_entry)
+        self.loops.pop()
+        if body_end is not None:
+            self.edge(body_end, head, "loop")
+        if not self._constant_true(stmt.test):
+            # The else clause runs only on normal loop exhaustion; a
+            # break jumps past it straight to ``after``.
+            if stmt.orelse:
+                else_entry = self.new_block("loop-else")
+                self.edge(head, else_entry, "false")
+                else_end = self.lower_body(stmt.orelse, else_entry)
+                if else_end is not None:
+                    self.edge(else_end, after, "next")
+            else:
+                self.edge(head, after, "false")
+        return after if after.preds else None
+
+    def _lower_for(self, stmt, cur: Block) -> Optional[Block]:
+        head = self.new_block("for")
+        self.edge(cur, head, "next")
+        head.stmts.append(stmt)
+        after = self.new_block("after")
+        body_entry = self.new_block("body")
+        self.edge(head, body_entry, "true")
+        self.loops.append(_Loop(head, after, len(self.cleanups)))
+        body_end = self.lower_body(stmt.body, body_entry)
+        self.loops.pop()
+        if body_end is not None:
+            self.edge(body_end, head, "loop")
+        if stmt.orelse:
+            else_entry = self.new_block("loop-else")
+            self.edge(head, else_entry, "false")
+            else_end = self.lower_body(stmt.orelse, else_entry)
+            if else_end is not None:
+                self.edge(else_end, after, "next")
+        else:
+            self.edge(head, after, "false")
+        return after if after.preds else None
+
+    def _lower_raise(self, stmt: ast.Raise, cur: Block) -> Optional[Block]:
+        cur.stmts.append(stmt)
+        if self.handlers:
+            frame = self.handlers[-1]
+            end = self._run_cleanups(cur, frame.cleanups_len)
+            if end is not None:
+                for handler in frame.blocks:
+                    self.edge(end, handler, "raise")
+        else:
+            end = self._run_cleanups(cur, 0)
+            if end is not None:
+                self.edge(end, self.exit, "raise")
+        return None
+
+    def _lower_try(self, stmt: ast.Try, cur: Block) -> Optional[Block]:
+        body_entry = self.new_block("try")
+        self.edge(cur, body_entry, "next")
+        handler_entries = [self.new_block("except") for _ in stmt.handlers]
+        if stmt.finalbody:
+            self.cleanups.append(_Cleanup(
+                stmt.finalbody, len(self.cleanups), len(self.handlers),
+                len(self.loops), len(self.regions)))
+        if stmt.handlers:
+            self.handlers.append(
+                _Handlers(handler_entries, len(self.cleanups)))
+            self.regions.append({body_entry.id})
+        body_end = self.lower_body(stmt.body, body_entry)
+        if stmt.handlers:
+            region = self.regions.pop()
+            self.handlers.pop()
+            for block_id in sorted(region):
+                for handler in handler_entries:
+                    self.edge(self.blocks[block_id], handler, "except")
+        if body_end is not None and stmt.orelse:
+            body_end = self.lower_body(stmt.orelse, body_end)
+        handler_ends = [self.lower_body(h.body, entry)
+                        for h, entry in zip(stmt.handlers, handler_entries)]
+        if stmt.finalbody:
+            self.cleanups.pop()
+        ends = [e for e in [body_end, *handler_ends] if e is not None]
+        if not ends:
+            return None
+        if stmt.finalbody:
+            fin_entry = self.new_block("finally")
+            for end in ends:
+                self.edge(end, fin_entry, "finally")
+            return self.lower_body(stmt.finalbody, fin_entry)
+        # Always a fresh block: statements after the ``try`` must not
+        # share a block with the try body (which carries except edges).
+        join = self.new_block("join")
+        for end in ends:
+            self.edge(end, join, "next")
+        return join
+
+    def _lower_match(self, stmt, cur: Block) -> Optional[Block]:
+        cur.stmts.append(stmt)
+        ends = []
+        wildcard = False
+        for case in stmt.cases:
+            entry = self.new_block("case")
+            self.edge(cur, entry, "case")
+            ends.append(self.lower_body(case.body, entry))
+            if (isinstance(case.pattern, ast.MatchAs)
+                    and case.pattern.pattern is None
+                    and case.guard is None):
+                wildcard = True
+        live = [e for e in ends if e is not None]
+        if not live and wildcard:
+            return None
+        join = self.new_block("join")
+        if not wildcard:
+            self.edge(cur, join, "false")
+        for end in live:
+            self.edge(end, join, "next")
+        return join
+
+
+def build_cfg(node: ast.AST) -> CFG:
+    """Build the CFG of a function, module, or comprehension-free body.
+
+    ``node`` is an ``ast.Module``, ``ast.FunctionDef`` or
+    ``ast.AsyncFunctionDef``; nested function/class definitions inside
+    the body are treated as simple binding statements (build a separate
+    CFG per function to analyze them).
+    """
+    builder = _Builder(node)
+    body = node.body if isinstance(
+        node, (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef)) else [node]
+    end = builder.lower_body(body, builder.entry)
+    if end is not None:
+        builder.edge(end, builder.exit, "next")
+    return CFG(node, builder.blocks, builder.entry, builder.exit)
+
+
+def reachable_blocks(cfg: CFG) -> List[Block]:
+    """Blocks reachable from the entry, in deterministic id order."""
+    seen: Set[int] = set()
+    stack = [cfg.entry]
+    while stack:
+        block = stack.pop()
+        if block.id in seen:
+            continue
+        seen.add(block.id)
+        for e in block.succs:
+            stack.append(e.dst)
+    return [b for b in cfg.blocks if b.id in seen]

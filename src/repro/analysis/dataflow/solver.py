@@ -1,0 +1,108 @@
+"""A generic worklist fixed-point solver over CFG blocks.
+
+The solver is direction-agnostic: a *forward* analysis joins facts over
+predecessor exits and pushes through each block's statements in order; a
+*backward* analysis joins over successor entries and walks statements in
+reverse.  Facts are opaque to the solver — callers supply ``join`` (the
+lattice least-upper-bound for may-analyses or greatest-lower-bound for
+must-analyses; the solver does not care which, only that the combination
+of ``join``/``transfer`` is monotone on a finite-height lattice) and
+``transfer`` (whole-block transfer; see :func:`run_block` for the
+element-wise helper).
+
+After the fixed point, checkers typically re-walk each block with its
+entry fact and the per-element step function to anchor findings to
+specific statements; :func:`run_block` is that same walk.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Tuple, TypeVar
+
+from .cfg import CFG, Block
+
+F = TypeVar("F")
+
+#: Safety valve: no real lattice here needs anywhere near this many
+#: passes; hitting it means a non-monotone transfer, which should fail
+#: loudly instead of spinning.
+_MAX_SWEEPS = 10_000
+
+
+def solve(cfg: CFG, *,
+          direction: str = "forward",
+          init: F,
+          boundary: F,
+          transfer: Callable[[Block, F], F],
+          join: Callable[[F, F], F],
+          ) -> Dict[int, Tuple[F, F]]:
+    """Run ``transfer`` to a fixed point; returns block id -> (in, out).
+
+    ``boundary`` seeds the entry block (exit block for backward runs);
+    every other block starts from ``init`` (the lattice's neutral
+    starting value — bottom for may-analyses, top for must-analyses).
+    ``in`` is always the fact at the block's *entry in program order*
+    and ``out`` the fact at its exit, regardless of direction, so
+    finding passes can re-walk statements forward with ``in`` (forward
+    analyses) or backward with ``out`` (backward analyses).
+    """
+    if direction not in ("forward", "backward"):
+        raise ValueError(f"unknown direction {direction!r}")
+    forward = direction == "forward"
+    start = cfg.entry if forward else cfg.exit
+    before: Dict[int, F] = {b.id: init for b in cfg.blocks}
+    after: Dict[int, F] = {}
+    before[start.id] = boundary
+    pending = {b.id for b in cfg.blocks}
+    order = [b.id for b in cfg.blocks]
+    by_id = {b.id: b for b in cfg.blocks}
+    sweeps = 0
+    while pending:
+        sweeps += 1
+        if sweeps > _MAX_SWEEPS:
+            raise RuntimeError("dataflow solver failed to converge "
+                               "(non-monotone transfer?)")
+        changed = False
+        for block_id in order:
+            if block_id not in pending:
+                continue
+            pending.discard(block_id)
+            block = by_id[block_id]
+            edges = block.preds if forward else block.succs
+            fact = before[block_id]
+            if block_id != start.id:
+                incoming = None
+                for e in edges:
+                    neighbor = (e.src if forward else e.dst).id
+                    if neighbor not in after:
+                        continue
+                    incoming = (after[neighbor] if incoming is None
+                                else join(incoming, after[neighbor]))
+                if incoming is not None:
+                    fact = incoming
+            out = transfer(block, fact)
+            if block_id not in after or after[block_id] != out \
+                    or before[block_id] != fact:
+                before[block_id] = fact
+                after[block_id] = out
+                changed = True
+                for e in (block.succs if forward else block.preds):
+                    pending.add((e.dst if forward else e.src).id)
+        if not pending and not changed:
+            break
+    result: Dict[int, Tuple[F, F]] = {}
+    for block in cfg.blocks:
+        b = before.get(block.id, init)
+        a = after.get(block.id, transfer(block, b))
+        result[block.id] = (b, a) if forward else (a, b)
+    return result
+
+
+def run_block(block: Block, fact: F,
+              step: Callable[[object, F], F],
+              *, backward: bool = False) -> F:
+    """Fold ``step`` over a block's elements (reversed when backward)."""
+    elements: Iterable = reversed(block.stmts) if backward else block.stmts
+    for element in elements:
+        fact = step(element, fact)
+    return fact

@@ -1,0 +1,353 @@
+"""Float-taint lattice for the ``exact-arith`` dataflow checker.
+
+The fact is a mapping ``name -> origin``: every binding currently known
+to (possibly) hold a float-derived value, with a human-readable origin
+string for the finding message.  Names are plain locals (``"g"``) or
+``self`` attributes (``"self._beta_f"``), so attribute laundering inside
+one method is tracked intraprocedurally.  The join keeps the
+lexicographically smallest origin per name, making fixed points
+deterministic.
+
+Taint sources
+-------------
+
+* float literals and ``float(...)`` casts;
+* any ``time.*`` read or call (wall-clock values are floats);
+* ``math.*`` reads/calls except the integer-valued ones
+  (:data:`MATH_EXACT`);
+* true division ``/`` (and ``/=``) — *unless* an operand is provably
+  ``Fraction``-typed (a ``Fraction(...)`` call, a module-level constant
+  bound to one, or a ``.real``/``.delta`` DeltaRational component), in
+  which case the result is again an exact ``Fraction``.  ``int/int`` is
+  a float and stays a source;
+* anything computed *from* a tainted value: arithmetic, subscripts of
+  tainted containers, calls with tainted arguments or receivers,
+  conditional expressions, f-string-free joins, comprehensions whose
+  element expression is tainted.
+
+Comparisons and ``not`` produce booleans and drop taint; ``int(...)``
+and the other :data:`EXACT_CALLS` launder deliberately (an explicit
+rounding decision, not an accidental leak).  Comprehension target names
+are scoped to the comprehension (Python 3 semantics) and never leak
+into the enclosing fact.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+#: Modules whose every attribute/call is a taint source.
+TAINT_MODULES = ("time",)
+
+#: Integer-valued ``math`` members: exact, not taint sources.
+MATH_EXACT = frozenset({
+    "gcd", "lcm", "isqrt", "factorial", "comb", "perm", "floor", "ceil",
+    "trunc",
+})
+
+#: Calls whose result is never float-tainted regardless of arguments —
+#: deliberate laundering points (``int(x)`` is an explicit rounding
+#: decision) and exact constructors.
+EXACT_CALLS = frozenset({
+    "Fraction", "int", "bool", "len", "str", "repr", "hash", "id", "ord",
+    "round", "range", "isinstance", "sorted",
+})
+
+#: Attribute names that denote ``Fraction``-typed components.
+FRACTION_ATTRS = frozenset({"real", "delta"})
+
+TaintEnv = Dict[str, str]
+
+
+class ModuleTaint:
+    """Module-level context: exact constants and module-tainted names."""
+
+    def __init__(self) -> None:
+        self.fraction_names: set = set()
+        self.tainted: TaintEnv = {}
+
+    @classmethod
+    def of_module(cls, tree: ast.AST) -> "ModuleTaint":
+        ctx = cls()
+        for stmt in getattr(tree, "body", ()):
+            if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                continue
+            target = stmt.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            if is_fraction_expr(stmt.value, ctx):
+                ctx.fraction_names.add(target.id)
+            else:
+                origin = eval_taint(stmt.value, dict(ctx.tainted), ctx)
+                if origin is not None:
+                    ctx.tainted[target.id] = origin
+        return ctx
+
+
+def _dotted(expr: ast.AST) -> Optional[str]:
+    """``self.attr`` -> ``"self.attr"``; plain names -> the name."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if (isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)):
+        return f"{expr.value.id}.{expr.attr}"
+    return None
+
+
+def is_fraction_expr(expr: ast.AST, ctx: ModuleTaint) -> bool:
+    """Conservatively: does ``expr`` evaluate to a ``Fraction``?"""
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name) \
+            and expr.func.id == "Fraction":
+        return True
+    if isinstance(expr, ast.Name):
+        return expr.id in ctx.fraction_names
+    if isinstance(expr, ast.Attribute) and expr.attr in FRACTION_ATTRS:
+        return True
+    if isinstance(expr, ast.BinOp):
+        return (is_fraction_expr(expr.left, ctx)
+                or is_fraction_expr(expr.right, ctx))
+    if isinstance(expr, ast.UnaryOp):
+        return is_fraction_expr(expr.operand, ctx)
+    return False
+
+
+def _loc(expr: ast.AST) -> str:
+    return f"line {getattr(expr, 'lineno', '?')}"
+
+
+def _call_source(call: ast.Call, ctx: ModuleTaint) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id == "float":
+            return f"float() cast ({_loc(call)})"
+        return None
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        mod, attr = func.value.id, func.attr
+        if mod in TAINT_MODULES:
+            return f"{mod}.{attr}() wall-clock value ({_loc(call)})"
+        if mod == "math" and attr not in MATH_EXACT:
+            return f"math.{attr}() float result ({_loc(call)})"
+    return None
+
+
+def eval_taint(expr: ast.AST, env: TaintEnv,
+               ctx: ModuleTaint) -> Optional[str]:
+    """Origin string when ``expr`` may carry a float, else None.
+
+    ``env`` may be mutated by walrus assignments inside ``expr``.
+    """
+    if isinstance(expr, ast.Constant):
+        if isinstance(expr.value, float):
+            return f"float literal {expr.value!r} ({_loc(expr)})"
+        return None
+    if isinstance(expr, ast.Name):
+        return env.get(expr.id) or ctx.tainted.get(expr.id)
+    if isinstance(expr, ast.Attribute):
+        dotted = _dotted(expr)
+        if dotted is not None and dotted in env:
+            return env[dotted]
+        if isinstance(expr.value, ast.Name):
+            mod = expr.value.id
+            if mod in TAINT_MODULES:
+                return f"{mod}.{expr.attr} ({_loc(expr)})"
+            if mod == "math" and expr.attr not in MATH_EXACT:
+                return f"math.{expr.attr} ({_loc(expr)})"
+        return eval_taint(expr.value, env, ctx)
+    if isinstance(expr, ast.NamedExpr):
+        origin = eval_taint(expr.value, env, ctx)
+        if isinstance(expr.target, ast.Name):
+            if origin is None:
+                env.pop(expr.target.id, None)
+            else:
+                env[expr.target.id] = origin
+        return origin
+    if isinstance(expr, ast.Call):
+        source = _call_source(expr, ctx)
+        if source is not None:
+            return source
+        if isinstance(expr.func, ast.Name) and expr.func.id in EXACT_CALLS:
+            for arg in _call_args(expr):
+                eval_taint(arg, env, ctx)  # walrus side effects only
+            return None
+        origins = []
+        if isinstance(expr.func, ast.Attribute):
+            origins.append(eval_taint(expr.func.value, env, ctx))
+        origins.extend(eval_taint(arg, env, ctx)
+                       for arg in _call_args(expr))
+        return next((o for o in origins if o is not None), None)
+    if isinstance(expr, ast.BinOp):
+        left = eval_taint(expr.left, env, ctx)
+        right = eval_taint(expr.right, env, ctx)
+        if left is not None or right is not None:
+            return left if left is not None else right
+        if isinstance(expr.op, ast.Div):
+            if is_fraction_expr(expr.left, ctx) \
+                    or is_fraction_expr(expr.right, ctx):
+                return None  # Fraction division stays exact
+            return ("true division between values not proven exact "
+                    f"({_loc(expr)})")
+        return None
+    if isinstance(expr, ast.UnaryOp):
+        origin = eval_taint(expr.operand, env, ctx)
+        return None if isinstance(expr.op, ast.Not) else origin
+    if isinstance(expr, ast.BoolOp):
+        for value in expr.values:
+            origin = eval_taint(value, env, ctx)
+            if origin is not None:
+                return origin
+        return None
+    if isinstance(expr, ast.Compare):
+        eval_taint(expr.left, env, ctx)
+        for comp in expr.comparators:
+            eval_taint(comp, env, ctx)
+        return None  # comparisons produce booleans
+    if isinstance(expr, ast.IfExp):
+        eval_taint(expr.test, env, ctx)
+        body = eval_taint(expr.body, env, ctx)
+        orelse = eval_taint(expr.orelse, env, ctx)
+        return body if body is not None else orelse
+    if isinstance(expr, ast.Subscript):
+        origin = eval_taint(expr.value, env, ctx)
+        eval_taint(expr.slice, env, ctx)
+        return origin
+    if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+        for el in expr.elts:
+            origin = eval_taint(el, env, ctx)
+            if origin is not None:
+                return origin
+        return None
+    if isinstance(expr, ast.Dict):
+        for key, value in zip(expr.keys, expr.values):
+            if key is not None and (o := eval_taint(key, env, ctx)):
+                return o
+            if (o := eval_taint(value, env, ctx)) is not None:
+                return o
+        return None
+    if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+        return _comprehension_taint(expr, [expr.elt], env, ctx)
+    if isinstance(expr, ast.DictComp):
+        return _comprehension_taint(expr, [expr.key, expr.value], env, ctx)
+    if isinstance(expr, ast.Starred):
+        return eval_taint(expr.value, env, ctx)
+    if isinstance(expr, ast.Await):
+        return eval_taint(expr.value, env, ctx)
+    if isinstance(expr, ast.JoinedStr):
+        return None
+    if isinstance(expr, ast.Lambda):
+        return None
+    if isinstance(expr, ast.Slice):
+        return None
+    return None
+
+
+def _call_args(call: ast.Call) -> Iterator[ast.AST]:
+    yield from call.args
+    for kw in call.keywords:
+        yield kw.value
+
+
+def _comprehension_taint(expr, results, env: TaintEnv,
+                         ctx: ModuleTaint) -> Optional[str]:
+    """Comprehension scoping: targets bind locally, never leak outward."""
+    inner = dict(env)
+    for gen in expr.generators:
+        iter_origin = eval_taint(gen.iter, inner, ctx)
+        bind_targets(gen.target, iter_origin, inner)
+        for cond in gen.ifs:
+            eval_taint(cond, inner, ctx)
+    for result in results:
+        origin = eval_taint(result, inner, ctx)
+        if origin is not None:
+            return origin
+    return None
+
+
+def bind_targets(target: ast.AST, origin: Optional[str],
+                 env: TaintEnv) -> None:
+    """Apply one assignment's taint to its target pattern."""
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for el in target.elts:
+            bind_targets(el, origin, env)
+        return
+    if isinstance(target, ast.Starred):
+        bind_targets(target.value, origin, env)
+        return
+    key = _dotted(target)
+    if isinstance(target, ast.Subscript):
+        # Storing into a container taints the container binding.
+        base = _dotted(target.value)
+        if base is not None and origin is not None:
+            env[base] = origin
+        return
+    if key is None:
+        return
+    if origin is None:
+        env.pop(key, None)
+    else:
+        env[key] = origin
+
+
+def unpack_assign(target: ast.AST, value: ast.AST, env: TaintEnv,
+                  ctx: ModuleTaint) -> None:
+    """Element-wise tuple unpacking when both sides are literal tuples."""
+    if isinstance(target, (ast.Tuple, ast.List)) \
+            and isinstance(value, (ast.Tuple, ast.List)) \
+            and len(target.elts) == len(value.elts) \
+            and not any(isinstance(el, ast.Starred) for el in target.elts):
+        for t, v in zip(target.elts, value.elts):
+            unpack_assign(t, v, env, ctx)
+        return
+    bind_targets(target, eval_taint(value, env, ctx), env)
+
+
+def transfer_stmt(stmt: ast.stmt, env: TaintEnv,
+                  ctx: ModuleTaint) -> TaintEnv:
+    """Forward transfer of one CFG element; returns the updated env."""
+    env = dict(env)
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            unpack_assign(target, stmt.value, env, ctx)
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        unpack_assign(stmt.target, stmt.value, env, ctx)
+    elif isinstance(stmt, ast.AugAssign):
+        value_origin = eval_taint(stmt.value, env, ctx)
+        key = _dotted(stmt.target)
+        existing = env.get(key) if key is not None else None
+        origin: Optional[str] = value_origin or existing
+        if origin is None and isinstance(stmt.op, ast.Div) \
+                and not is_fraction_expr(stmt.target, ctx):
+            origin = f"in-place true division ({_loc(stmt)})"
+        bind_targets(stmt.target, origin, env)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        bind_targets(stmt.target, eval_taint(stmt.iter, env, ctx), env)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            origin = eval_taint(item.context_expr, env, ctx)
+            if item.optional_vars is not None:
+                bind_targets(item.optional_vars, origin, env)
+    elif isinstance(stmt, ast.Delete):
+        for target in stmt.targets:
+            key = _dotted(target)
+            if key is not None:
+                env.pop(key, None)
+    elif isinstance(stmt, ast.Expr):
+        eval_taint(stmt.value, env, ctx)  # walrus side effects
+    elif isinstance(stmt, (ast.If, ast.While)):
+        eval_taint(stmt.test, env, ctx)
+    elif isinstance(stmt, ast.Return) and stmt.value is not None:
+        eval_taint(stmt.value, env, ctx)
+    return env
+
+
+def join_envs(a: TaintEnv, b: TaintEnv) -> TaintEnv:
+    """Union of tainted names; smallest origin wins for determinism."""
+    if a == b:
+        return a
+    out = dict(a)
+    for name, origin in b.items():
+        if name in out:
+            out[name] = min(out[name], origin)
+        else:
+            out[name] = origin
+    return out

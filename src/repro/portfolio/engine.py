@@ -338,6 +338,11 @@ def _strategy_worker(conn, problem, strategy: Strategy, share: bool = False,
         conn.send({"kind": KIND_RESULT, "payload": payload})
     except Exception as exc:  # noqa: BLE001
         try:
+            # Reached only when the exchange broke mid-flight (including
+            # a result send that itself raised); a best-effort error
+            # result beats silence, and a dead pipe just re-raises into
+            # the inner pass.
+            # repro: allow[frame-protocol] error result after broken send
             conn.send({"kind": KIND_RESULT,
                        "payload": {"status": STATUS_ERROR,
                                    "error": f"{type(exc).__name__}: {exc}"}})
@@ -541,6 +546,9 @@ def _race_processes(
                         launched,
                         options=replace(launched.options, faults=injected))
             parent_conn, child_conn = ctx.Pipe(duplex=False)
+            # On the except-OSError path below start() failed, so no OS
+            # process exists and there is nothing to reap or terminate.
+            # repro: allow[resource-hygiene] unstarted Process needs no reap
             proc = ctx.Process(
                 target=_strategy_worker,
                 args=(child_conn, problem, launched, pool is not None, policy),

@@ -68,3 +68,51 @@ EVENT_KINDS = frozenset({
 
 #: Every frame kind any producer may construct or consumer dispatch on.
 FRAME_KINDS = PIPE_KINDS | ARTIFACT_KINDS | EVENT_KINDS
+
+# -- pipe protocol state machine -------------------------------------------
+#
+# What a *sender* may put on one Connection, as consumers implement it:
+#
+#              heartbeat/artifact                 request
+#            +------------------+             +-----------+
+#            v                  |             v           |
+#   start --heartbeat/artifact--> streaming   start --request--> await
+#     |                             |
+#     +----------result------------+---result--> done
+#     |
+#     any non-closed state --shutdown--> closed
+#
+# * heartbeat/artifact frames may stream before the result, never after:
+#   ``pump()``/``ServiceWorker.solve()`` stop reading on the result.
+# * exactly one result: a second result frame is never consumed.
+# * shutdown is terminal — the worker loop exits on it.
+# * a ``recv()`` starts a fresh exchange (state back to ``start``);
+#   ``close()`` is terminal like shutdown.
+#
+# ``repro.analysis``'s ``frame-protocol`` rule walks every send/recv
+# site against this table; keep it in lockstep with the consumers.
+
+PROTOCOL_START = "start"
+PROTOCOL_STREAMING = "streaming"
+PROTOCOL_DONE = "done"
+PROTOCOL_AWAIT = "await"
+PROTOCOL_CLOSED = "closed"
+
+PROTOCOL_STATES = frozenset({
+    PROTOCOL_START, PROTOCOL_STREAMING, PROTOCOL_DONE, PROTOCOL_AWAIT,
+    PROTOCOL_CLOSED,
+})
+
+#: kind -> (states a send is legal from, state after the send).
+PIPE_PROTOCOL = {
+    KIND_HEARTBEAT: (frozenset({PROTOCOL_START, PROTOCOL_STREAMING}),
+                     PROTOCOL_STREAMING),
+    KIND_ARTIFACT: (frozenset({PROTOCOL_START, PROTOCOL_STREAMING}),
+                    PROTOCOL_STREAMING),
+    KIND_RESULT: (frozenset({PROTOCOL_START, PROTOCOL_STREAMING}),
+                  PROTOCOL_DONE),
+    KIND_REQUEST: (frozenset({PROTOCOL_START}), PROTOCOL_AWAIT),
+    KIND_SHUTDOWN: (frozenset({PROTOCOL_START, PROTOCOL_STREAMING,
+                               PROTOCOL_DONE, PROTOCOL_AWAIT}),
+                    PROTOCOL_CLOSED),
+}

@@ -37,13 +37,6 @@ from .rationals import DeltaRational, materialize_delta
 
 NO_LIT = -1
 
-# Float-mirror sentinel: advisory prefilter only, never a lemma source.
-_INF = float("inf")  # repro: allow[exact-arith]
-
-#: Relative guard band for the float pre-filter: float comparisons whose
-#: operands differ by less than this (relative) margin are re-done exactly.
-_FLOAT_GUARD = 1e-6  # repro: allow[exact-arith] advisory mirror constant
-
 
 class Simplex:
     """Incremental simplex over ``Q + Q*delta`` with conflict explanations."""
@@ -109,9 +102,7 @@ class Simplex:
         self._upper_lit.append(NO_LIT)
         self._beta_r.append(_F0)
         self._beta_d.append(_F0)
-        self._beta_f.append(0.0)  # repro: allow[exact-arith] float mirror
-        self._lower_f.append(-_INF)
-        self._upper_f.append(_INF)
+        self._mirror_new_var()
         self._is_basic.append(False)
         self._rows.append(None)
         self._cols.append(set())
@@ -179,18 +170,12 @@ class Simplex:
                 self._lower[var] = old_bound
                 self._lower_lit[var] = old_lit
                 if mirror:
-                    # repro: allow[exact-arith] float-mirror resync
-                    self._lower_f[var] = (
-                        float(old_bound.real) if old_bound is not None else -_INF
-                    )
+                    self._mirror_set_lower(var, old_bound)
             else:
                 self._upper[var] = old_bound
                 self._upper_lit[var] = old_lit
                 if mirror:
-                    # repro: allow[exact-arith] float-mirror resync
-                    self._upper_f[var] = (
-                        float(old_bound.real) if old_bound is not None else _INF
-                    )
+                    self._mirror_set_upper(var, old_bound)
 
     # ------------------------------------------------------------------
     # Bound assertion
@@ -212,8 +197,7 @@ class Simplex:
             self._lower[var] = bound
             self._lower_lit[var] = lit
             if self._float_prefilter:
-                # repro: allow[exact-arith] float-mirror update
-                self._lower_f[var] = float(bound.real)
+                self._mirror_set_lower(var, bound)
             if fresh_touch:
                 self.touched_bounds.add(var)
             if self._is_basic[var]:
@@ -238,8 +222,7 @@ class Simplex:
             self._upper[var] = bound
             self._upper_lit[var] = lit
             if self._float_prefilter:
-                # repro: allow[exact-arith] float-mirror update
-                self._upper_f[var] = float(bound.real)
+                self._mirror_set_upper(var, bound)
             if fresh_touch:
                 self.touched_bounds.add(var)
             if self._is_basic[var]:
@@ -257,15 +240,87 @@ class Simplex:
             self._suspects.add(var)
             heappush(self._suspects_heap, var)
 
+    # ------------------------------------------------------------------
+    # Float mirror (advisory prefilter)
+    # ------------------------------------------------------------------
+    # The mirror is the one deliberate float island in the exact core:
+    # every float value lives in the ``_mirror_*`` methods below (plus
+    # the two sentinels), verdicts leave as tri-state ints, and every
+    # near-tie answer falls back to exact arithmetic in the callers.
+    # repro: allow[exact-arith]:begin advisory float mirror — tri-state
+    # verdicts only; misses fall back to exact Fraction comparisons
+
+    #: Mirror sentinel for "no bound asserted".
+    _INF = float("inf")
+
+    #: Relative guard band: float comparisons whose operands differ by
+    #: less than this (relative) margin are re-done exactly.
+    _FLOAT_GUARD = 1e-6
+
+    def _mirror_new_var(self) -> None:
+        """Extend the mirror lists for a freshly allocated variable."""
+        self._beta_f.append(0.0)
+        self._lower_f.append(-self._INF)
+        self._upper_f.append(self._INF)
+
+    def _mirror_set_lower(self, var: int,
+                          bound: Optional[DeltaRational]) -> None:
+        self._lower_f[var] = (
+            float(bound.real) if bound is not None else -self._INF
+        )
+
+    def _mirror_set_upper(self, var: int,
+                          bound: Optional[DeltaRational]) -> None:
+        self._upper_f[var] = (
+            float(bound.real) if bound is not None else self._INF
+        )
+
+    def _resync_float(self, var: int) -> None:
+        """Refresh the float mirror of ``var`` from its exact value.
+
+        The mirror is *recomputed*, never incrementally updated: an
+        accumulated ``+=`` mirror can drift arbitrarily far from the exact
+        value through catastrophic cancellation, which would let the
+        pre-filter answer a comparison confidently and wrongly.  A fresh
+        conversion is within 1 ulp of the exact value, so the relative
+        guard band in :meth:`_mirror_below`/:meth:`_mirror_above` keeps
+        the filter sound.
+        """
+        r = self._beta_r[var]
+        try:
+            self._beta_f[var] = r.numerator / r.denominator
+        except OverflowError:
+            # Magnitude beyond float range: force the exact fallback.
+            self._beta_f[var] = float("nan")
+
+    def _mirror_below(self, var: int) -> int:
+        """1 if beta[var] is clearly below its lower bound, 0 if clearly
+        not, -1 on a near-tie (caller must decide exactly)."""
+        beta = self._beta_f[var]
+        diff = beta - self._lower_f[var]
+        if abs(diff) > self._FLOAT_GUARD * (1.0 + abs(beta)):
+            return 1 if diff < 0.0 else 0
+        return -1
+
+    def _mirror_above(self, var: int) -> int:
+        """1 if beta[var] is clearly above its upper bound, 0 if clearly
+        not, -1 on a near-tie (caller must decide exactly)."""
+        beta = self._beta_f[var]
+        diff = beta - self._upper_f[var]
+        if abs(diff) > self._FLOAT_GUARD * (1.0 + abs(beta)):
+            return 1 if diff > 0.0 else 0
+        return -1
+
+    # repro: allow[exact-arith]:end
+
     # -- beta/bound comparisons (no DeltaRational allocation) ----------
 
     def _below(self, var: int, bound: DeltaRational) -> bool:
         """beta[var] < bound?"""
         if self._float_prefilter:
-            diff = self._beta_f[var] - self._lower_f[var]
-            # repro: allow[exact-arith] guarded prefilter comparison
-            if abs(diff) > _FLOAT_GUARD * (1.0 + abs(self._beta_f[var])):
-                return diff < 0.0  # repro: allow[exact-arith]
+            verdict = self._mirror_below(var)
+            if verdict >= 0:
+                return verdict == 1
         r = self._beta_r[var]
         br = bound.real
         lhs = r.numerator * br.denominator
@@ -279,10 +334,9 @@ class Simplex:
     def _above(self, var: int, bound: DeltaRational) -> bool:
         """beta[var] > bound?"""
         if self._float_prefilter:
-            diff = self._beta_f[var] - self._upper_f[var]
-            # repro: allow[exact-arith] guarded prefilter comparison
-            if abs(diff) > _FLOAT_GUARD * (1.0 + abs(self._beta_f[var])):
-                return diff > 0.0  # repro: allow[exact-arith]
+            verdict = self._mirror_above(var)
+            if verdict >= 0:
+                return verdict == 1
         r = self._beta_r[var]
         br = bound.real
         lhs = r.numerator * br.denominator
@@ -312,24 +366,6 @@ class Simplex:
             self._add_suspect(basic)
         if mirror:
             self._resync_float(nonbasic)
-
-    def _resync_float(self, var: int) -> None:
-        """Refresh the float mirror of ``var`` from its exact value.
-
-        The mirror is *recomputed*, never incrementally updated: an
-        accumulated ``+=`` mirror can drift arbitrarily far from the exact
-        value through catastrophic cancellation, which would let the
-        pre-filter answer a comparison confidently and wrongly.  A fresh
-        conversion is within 1 ulp of the exact value, so the relative
-        guard band in :meth:`_below`/:meth:`_above` keeps the filter sound.
-        """
-        r = self._beta_r[var]
-        try:
-            # repro: allow[exact-arith] int/int -> float is the mirror's job
-            self._beta_f[var] = r.numerator / r.denominator
-        except OverflowError:
-            # Magnitude beyond float range: force the exact fallback.
-            self._beta_f[var] = float("nan")  # repro: allow[exact-arith]
 
     # ------------------------------------------------------------------
     # Check (Bland's rule)
@@ -464,7 +500,7 @@ class Simplex:
         rows[basic] = None
         a = row[nonbasic]
         # Solve the row for `nonbasic`: nonbasic = basic/a - sum(others)/a.
-        inv_a = _F1 / a  # repro: allow[exact-arith] Fraction/Fraction is exact
+        inv_a = _F1 / a
         new_row: Dict[int, Fraction] = {basic: inv_a}
         for v, c in row.items():
             if v != nonbasic:

@@ -1,0 +1,260 @@
+"""CFG corner cases, pinned as golden block/edge fixtures.
+
+The goldens use :meth:`CFG.dump` — blocks with their statement line
+numbers, then ``src -> dst kind`` edges — so a change in lowering shows
+up as a readable diff, not a silent reshape of downstream analyses.
+"""
+
+import ast
+import textwrap
+
+from repro.analysis.dataflow import build_cfg, header_exprs, reachable_blocks
+
+
+def cfg_of(source):
+    fn = ast.parse(textwrap.dedent(source)).body[0]
+    return build_cfg(fn)
+
+
+def block_of_line(cfg, lineno):
+    for block in cfg.blocks:
+        if any(s.lineno == lineno for s in block.stmts):
+            return block
+    raise AssertionError(f"no block holds line {lineno}")
+
+
+class TestGoldenShapes:
+    def test_try_finally_with_break_inside(self):
+        # The break routes through its own clone of the finally body
+        # (b7) before jumping to the loop's after-block; the normal
+        # fall-through gets a separate clone (b9) before the back edge.
+        cfg = cfg_of("""\
+            def f(items):
+                for item in items:
+                    try:
+                        if item:
+                            break
+                        work(item)
+                    finally:
+                        item.close()
+                return done()
+            """)
+        assert cfg.dump() == "\n".join([
+            "b0:entry []",
+            "b1:exit []",
+            "b2:for [2]",
+            "b3:after [9]",
+            "b4:body []",
+            "b5:try [4]",
+            "b6:then [5]",
+            "b7:finally [8]",
+            "b8:join [6]",
+            "b9:finally [8]",
+            "b0:entry -> b2:for next",
+            "b2:for -> b4:body true",
+            "b2:for -> b3:after false",
+            "b3:after -> b1:exit return",
+            "b4:body -> b5:try next",
+            "b5:try -> b6:then true",
+            "b5:try -> b8:join false",
+            "b6:then -> b7:finally finally",
+            "b7:finally -> b3:after break",
+            "b8:join -> b9:finally finally",
+            "b9:finally -> b2:for loop",
+        ])
+
+    def test_try_finally_with_return_inside(self):
+        # return reaches the exit only through the finally clone, which
+        # is what lets must-analyses credit cleanup on the return path.
+        cfg = cfg_of("""\
+            def f(conn):
+                try:
+                    return conn.recv()
+                finally:
+                    conn.close()
+            """)
+        assert cfg.dump() == "\n".join([
+            "b0:entry []",
+            "b1:exit []",
+            "b2:try [3]",
+            "b3:finally [5]",
+            "b0:entry -> b2:try next",
+            "b2:try -> b3:finally finally",
+            "b3:finally -> b1:exit return",
+        ])
+
+    def test_while_else(self):
+        # break jumps past the else clause; only normal exhaustion
+        # (the false edge off the header) runs it.
+        cfg = cfg_of("""\
+            def f(n):
+                while n:
+                    if check(n):
+                        break
+                    n -= 1
+                else:
+                    fallback()
+                return n
+            """)
+        assert cfg.dump() == "\n".join([
+            "b0:entry []",
+            "b1:exit []",
+            "b2:while [2]",
+            "b3:after [8]",
+            "b4:body [3]",
+            "b5:then [4]",
+            "b6:join [5]",
+            "b7:loop-else [7]",
+            "b0:entry -> b2:while next",
+            "b2:while -> b4:body true",
+            "b2:while -> b7:loop-else false",
+            "b3:after -> b1:exit return",
+            "b4:body -> b5:then true",
+            "b4:body -> b6:join false",
+            "b5:then -> b3:after break",
+            "b6:join -> b2:while loop",
+            "b7:loop-else -> b3:after next",
+        ])
+
+    def test_nested_with_is_transparent(self):
+        # with headers stay in-block; the whole function is one
+        # straight-line block.
+        cfg = cfg_of("""\
+            def f(a, b):
+                with open(a) as fa:
+                    with open(b) as fb:
+                        copy(fa, fb)
+                return True
+            """)
+        assert cfg.dump() == "\n".join([
+            "b0:entry [2,3,4,5]",
+            "b1:exit []",
+            "b0:entry -> b1:exit return",
+        ])
+
+    def test_bare_raise_reraises_out_of_handler(self):
+        # The handler's bare raise has no enclosing handler left, so it
+        # exits the function on a raise edge; the post-try fall-through
+        # lands in a fresh join block with no except edges.
+        cfg = cfg_of("""\
+            def f(conn):
+                try:
+                    pump(conn)
+                except OSError:
+                    log()
+                    raise
+            """)
+        assert cfg.dump() == "\n".join([
+            "b0:entry []",
+            "b1:exit []",
+            "b2:try [3]",
+            "b3:except [5,6]",
+            "b4:join []",
+            "b0:entry -> b2:try next",
+            "b2:try -> b3:except except",
+            "b2:try -> b4:join next",
+            "b3:except -> b1:exit raise",
+            "b4:join -> b1:exit next",
+        ])
+
+    def test_os_exit_skips_finally(self):
+        # os._exit never runs cleanup at runtime, so it gets a direct
+        # exit edge instead of a route through the finally body.
+        cfg = cfg_of("""\
+            def f(code):
+                try:
+                    cleanup()
+                    os._exit(code)
+                finally:
+                    note()
+            """)
+        assert cfg.dump() == "\n".join([
+            "b0:entry []",
+            "b1:exit []",
+            "b2:try [3,4]",
+            "b0:entry -> b2:try next",
+            "b2:try -> b1:exit exit",
+        ])
+
+
+class TestStructuralProperties:
+    def test_while_true_has_no_false_edge(self):
+        cfg = cfg_of("""\
+            def f():
+                while True:
+                    spin()
+                unreachable()
+            """)
+        head = block_of_line(cfg, 2)
+        assert [e.kind for e in head.succs] == ["true"]
+        # Dead code after the loop is dropped entirely.
+        assert all(s.lineno != 4
+                   for b in cfg.blocks for s in b.stmts)
+        assert cfg.exit not in reachable_blocks(cfg)
+
+    def test_statement_after_try_shares_no_except_edges(self):
+        # Regression: conn.close() after the try must not inherit the
+        # try body's may-leave-for-handler edges.
+        cfg = cfg_of("""\
+            def f(conn):
+                try:
+                    risky()
+                except OSError:
+                    pass
+                conn.close()
+            """)
+        close_block = block_of_line(cfg, 6)
+        assert all(e.kind != "except" for e in close_block.succs)
+        try_block = block_of_line(cfg, 3)
+        assert any(e.kind == "except" for e in try_block.succs)
+
+    def test_sys_exit_routes_through_finally(self):
+        cfg = cfg_of("""\
+            def f():
+                try:
+                    sys.exit(1)
+                finally:
+                    note()
+            """)
+        (edge,) = cfg.exit.preds
+        assert edge.kind == "exit"
+        assert edge.src.label == "finally"
+
+    def test_reachable_blocks_excludes_orphans(self):
+        # ``while True`` with no break leaves the structural after-block
+        # orphaned (created, never wired in); reachability drops it and
+        # keeps deterministic id order.
+        cfg = cfg_of("""\
+            def f():
+                while True:
+                    spin()
+            """)
+        reached = reachable_blocks(cfg)
+        ids = [b.id for b in reached]
+        assert ids == sorted(ids)
+        assert "after" not in {b.label for b in reached}
+        assert cfg.entry in reached
+
+
+class TestHeaderExprs:
+    def test_compound_headers(self):
+        mod = ast.parse(textwrap.dedent("""\
+            if a:
+                pass
+            for i in items:
+                pass
+            with ctx() as c:
+                pass
+            try:
+                pass
+            finally:
+                pass
+            x = 1
+            """))
+        if_stmt, for_stmt, with_stmt, try_stmt, assign = mod.body
+        assert header_exprs(if_stmt) == [if_stmt.test]
+        assert header_exprs(for_stmt) == [for_stmt.iter]
+        assert header_exprs(with_stmt) == [
+            with_stmt.items[0].context_expr]
+        assert header_exprs(try_stmt) == []
+        assert header_exprs(assign) is None

@@ -1,0 +1,141 @@
+"""The float-taint lattice: sources, laundering, scoping, joins."""
+
+import ast
+import textwrap
+
+from repro.analysis.dataflow.taint import (
+    ModuleTaint,
+    eval_taint,
+    join_envs,
+    transfer_stmt,
+)
+
+
+def expr(source):
+    return ast.parse(source, mode="eval").body
+
+
+def ctx_of(source=""):
+    return ModuleTaint.of_module(ast.parse(textwrap.dedent(source)))
+
+
+def taint(source, env=None, ctx=None):
+    return eval_taint(expr(source), env if env is not None else {},
+                      ctx if ctx is not None else ctx_of())
+
+
+class TestSources:
+    def test_float_literal(self):
+        assert taint("1.5") == "float literal 1.5 (line 1)"
+        assert taint("3") is None
+
+    def test_float_cast(self):
+        assert taint("float(x)") == "float() cast (line 1)"
+
+    def test_time_module(self):
+        assert taint("time.monotonic()") == (
+            "time.monotonic() wall-clock value (line 1)")
+        assert taint("time.time") == "time.time (line 1)"
+
+    def test_math_module_split(self):
+        assert taint("math.sqrt(n)") == "math.sqrt() float result (line 1)"
+        assert taint("math.pi") == "math.pi (line 1)"
+        assert taint("math.gcd(a, b)") is None
+        assert taint("math.isqrt(n)") is None
+
+    def test_true_division_unproven(self):
+        assert taint("a / b") == (
+            "true division between values not proven exact (line 1)")
+        assert taint("a // b") is None
+
+    def test_fraction_division_stays_exact(self):
+        assert taint("Fraction(1) / b") is None
+        assert taint("bound.real / b") is None
+        ctx = ctx_of("from fractions import Fraction\n"
+                     "_F1 = Fraction(1)\n")
+        assert taint("_F1 / a", ctx=ctx) is None
+        # .numerator is an int, not a Fraction component: int/int is
+        # still a float.
+        assert taint("r.numerator / r.denominator") is not None
+
+
+class TestPropagationAndLaundering:
+    def test_env_lookup_and_arithmetic(self):
+        env = {"g": "origin-g"}
+        assert taint("g + 1", env) == "origin-g"
+        assert taint("(g, 0)", env) == "origin-g"
+        assert taint("container[g]", {"container": "origin-c"}) == "origin-c"
+
+    def test_exact_calls_launder(self):
+        env = {"g": "origin-g"}
+        assert taint("int(g)", env) is None
+        assert taint("round(g)", env) is None
+        assert taint("Fraction(g)", env) is None  # flagged as a sink, not here
+
+    def test_comparisons_and_not_are_booleans(self):
+        env = {"g": "origin-g"}
+        assert taint("g > 0", env) is None
+        assert taint("not g", env) is None
+        assert taint("-g", env) == "origin-g"
+
+    def test_walrus_mutates_env(self):
+        env = {}
+        assert taint("(m := float(x))", env) == "float() cast (line 1)"
+        assert env["m"] == "float() cast (line 1)"
+
+    def test_comprehension_targets_do_not_leak(self):
+        env = {"times": "origin-t"}
+        assert taint("[t * 2 for t in times]", env) == "origin-t"
+        assert "t" not in env
+        assert taint("[k for k in counts]", env) is None
+
+
+class TestTransfer:
+    def run_stmts(self, source, env=None, ctx=None):
+        ctx = ctx if ctx is not None else ctx_of()
+        env = dict(env or {})
+        for stmt in ast.parse(textwrap.dedent(source)).body:
+            env = transfer_stmt(stmt, env, ctx)
+        return env
+
+    def test_assign_binds_and_rebinding_clears(self):
+        env = self.run_stmts("g = time.monotonic()\nh = g\n")
+        assert env["g"] == env["h"] == (
+            "time.monotonic() wall-clock value (line 1)")
+        env = self.run_stmts("g = 0\n", env)
+        assert "g" not in env
+
+    def test_literal_tuple_unpacking_is_elementwise(self):
+        env = self.run_stmts("a, b = 1.5, 2\n")
+        assert "a" in env and "b" not in env
+
+    def test_self_attribute_keys(self):
+        env = self.run_stmts("self._beta = float(x)\n")
+        assert env["self._beta"] == "float() cast (line 1)"
+
+    def test_subscript_store_taints_container(self):
+        env = self.run_stmts("rows[i] = float(x)\n")
+        assert env["rows"] == "float() cast (line 1)"
+
+    def test_augassign_division_origin(self):
+        env = self.run_stmts("z /= 2\n")
+        assert env["z"] == "in-place true division (line 1)"
+        env = self.run_stmts("z //= 2\n")
+        assert "z" not in env
+
+    def test_delete_clears(self):
+        env = self.run_stmts("del g\n", env={"g": "origin-g"})
+        assert "g" not in env
+
+
+class TestJoin:
+    def test_union_with_min_origin(self):
+        a = {"x": "alpha", "y": "only-a"}
+        b = {"x": "beta", "z": "only-b"}
+        joined = join_envs(a, b)
+        assert joined == {"x": "alpha", "y": "only-a", "z": "only-b"}
+        assert join_envs(b, a) == joined
+
+    def test_identical_envs_returned_as_is(self):
+        a = {"x": "alpha"}
+        assert join_envs(a, dict(a)) == a

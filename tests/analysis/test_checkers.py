@@ -13,6 +13,7 @@ from repro.analysis.checkers.async_blocking import AsyncBlockingChecker
 from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.exact_arith import ExactArithChecker
 from repro.analysis.checkers.frame_drift import FrameDriftChecker
+from repro.analysis.checkers.frame_protocol import FrameProtocolChecker
 from repro.analysis.checkers.resource_hygiene import ResourceHygieneChecker
 from repro.analysis.checkers.trail_discipline import TrailDisciplineChecker
 
@@ -29,35 +30,113 @@ def golden(report):
 class TestExactArith:
     def test_violations_golden(self, tmp_path):
         report = run(tmp_path, ExactArithChecker(scope=()), """\
-            x = float(3)
-            y = 1.5
-            z = x / y
-            z /= 2
+            import time
+
+            SLOP = 2.5 * 2
+
+            class Engine:
+                def poke(self):
+                    g = time.monotonic()
+                    h = g
+                    self._deadline = h
+
+                def widen(self, eps):
+                    self._bounds[0] /= eps
+
+                def export(self):
+                    return float(self._best)
             """)
         assert golden(report) == [
-            (1, "float(...) cast in exact-arithmetic module", False),
-            (2, "float literal 1.5 in exact-arithmetic module", False),
-            (3, "true division `/` in exact-arithmetic module (use `//` "
-                "on scaled ints, or annotate exact Fraction division)",
-             False),
-            (4, "in-place true division `/=` in exact-arithmetic module",
-             False),
+            (3, "constant binding carries float taint: "
+                "float literal 2.5 (line 3)", False),
+            (9, "float-tainted value stored into solver state "
+                "`self._deadline`: time.monotonic() wall-clock value "
+                "(line 7)", False),
+            (12, "in-place true division on solver state `self._bounds` "
+                 "(use Fraction or `//`)", False),
+            (15, "float-tainted value returned from exact module: "
+                 "float() cast (line 15)", False),
+        ]
+
+    def test_laundered_leak_invisible_to_syntax(self, tmp_path):
+        # The flagged line has no float literal, cast, `/`, or time call
+        # on it — PR 9's lexical rule provably cannot fire here.
+        source = textwrap.dedent("""\
+            import time
+
+            class Engine:
+                def poke(self):
+                    g = time.monotonic()
+                    h = g
+                    self._deadline = h
+            """)
+        (tmp_path / "snippet.py").write_text(source)
+        report = analyze([tmp_path], [ExactArithChecker(scope=())])
+        [(line, message, suppressed)] = golden(report)
+        assert line == 7
+        flagged = source.splitlines()[line - 1]
+        assert "float" not in flagged
+        assert "/" not in flagged
+        assert "time" not in flagged
+        assert not suppressed
+        assert message == (
+            "float-tainted value stored into solver state "
+            "`self._deadline`: time.monotonic() wall-clock value (line 5)")
+
+    def test_tainted_constructor_argument(self, tmp_path):
+        report = run(tmp_path, ExactArithChecker(scope=()), """\
+            from fractions import Fraction
+
+            def lift(x):
+                approx = float(x)
+                return Fraction(approx)
+            """)
+        assert golden(report) == [
+            (5, "float-tainted argument to Fraction(): "
+                "float() cast (line 4)", False),
         ]
 
     def test_clean(self, tmp_path):
         report = run(tmp_path, ExactArithChecker(scope=()), """\
             from fractions import Fraction
-            x = Fraction(1, 3)
-            y = 7 // 2
-            z = int("4")
+
+            _F1 = Fraction(1)
+
+            class Engine:
+                def tighten(self, a):
+                    inv = _F1 / a
+                    self._scale = inv
+                    return Fraction(inv)
+
+                def verdict(self, x):
+                    m = float(x)
+                    return m > int(x)
             """)
         assert report.findings == []
 
     def test_suppressed(self, tmp_path):
         report = run(tmp_path, ExactArithChecker(scope=()), """\
-            x = float(3)  # repro: allow[exact-arith] advisory mirror
+            import time
+
+            class Engine:
+                def poke(self):
+                    g = time.monotonic()
+                    # repro: allow[exact-arith] advisory deadline only
+                    self._deadline = g
             """)
         assert [f.suppressed for f in report.findings] == [True]
+        assert report.ok
+
+    def test_region_pragma_covers_mirror_block(self, tmp_path):
+        report = run(tmp_path, ExactArithChecker(scope=()), """\
+            class Engine:
+                # repro: allow[exact-arith]:begin advisory mirror block
+                def resync(self):
+                    self._mirror = 0.5
+                    self._guard = 1e-06
+                # repro: allow[exact-arith]:end
+            """)
+        assert [f.suppressed for f in report.findings] == [True, True]
         assert report.ok
 
     def test_default_scope_excludes_other_modules(self, tmp_path):
@@ -184,7 +263,7 @@ class TestResourceHygiene:
                     parent.close()
             """)
         assert [f.message for f in report.findings] == [
-            "connection 'parent' is only cleaned up on conditional paths; "
+            "connection 'parent' is not released on every path from here; "
             "move a cleanup into a finally block or the unconditional path"]
 
     def test_exception_path_only_cleanup(self, tmp_path):
@@ -199,8 +278,49 @@ class TestResourceHygiene:
                     proc.terminate()
             """)
         assert [f.message for f in report.findings] == [
-            "process 'proc' is only cleaned up on conditional paths; "
+            "process 'proc' is not released on every path from here; "
             "move a cleanup into a finally block or the unconditional path"]
+
+    def test_early_return_leak_v1_missed(self, tmp_path):
+        # Both closes sit on the unconditional tail, so PR 9's lexical
+        # rule ("at least one cleanup outside an if arm") passed this;
+        # the early return still leaks both ends of the pipe.
+        report = run(tmp_path, ResourceHygieneChecker(scope=()), """\
+            import multiprocessing as mp
+
+            def early_exit(flag):
+                parent, child = mp.Pipe()
+                if flag:
+                    return None
+                parent.close()
+                child.close()
+            """)
+        assert sorted(f.message for f in report.findings) == [
+            "connection 'child' is not released on every path from here; "
+            "move a cleanup into a finally block or the unconditional path",
+            "connection 'parent' is not released on every path from here; "
+            "move a cleanup into a finally block or the unconditional path",
+        ]
+
+    def test_with_closing_is_cleanup(self, tmp_path):
+        # Regression: v1 flagged with-managed resources because it only
+        # recognised literal cleanup-method calls.
+        report = run(tmp_path, ResourceHygieneChecker(scope=()), """\
+            from contextlib import closing
+            import multiprocessing as mp
+
+            def managed():
+                parent, child = mp.Pipe()
+                with closing(parent), closing(child):
+                    parent.send(1)
+
+            def direct():
+                parent, child = mp.Pipe()
+                with child:
+                    parent.send(1)
+                parent.close()
+            """)
+        assert report.findings == []
 
     def test_clean_finally_and_escape(self, tmp_path):
         report = run(tmp_path, ResourceHygieneChecker(scope=()), """\
@@ -231,6 +351,146 @@ class TestResourceHygiene:
                 parent.send(child)
             """)
         assert report.findings and report.ok
+
+
+class TestFrameProtocol:
+    def test_send_after_result_golden(self, tmp_path):
+        report = run(tmp_path, FrameProtocolChecker(scope=()), """\
+            from repro.portfolio.frames import KIND_HEARTBEAT, KIND_RESULT
+
+            def finish(conn):
+                conn.send({"kind": KIND_RESULT, "payload": 1})
+                conn.send({"kind": KIND_HEARTBEAT})
+            """)
+        assert golden(report) == [
+            (5, "'heartbeat' frame sent on `conn` which may be in state "
+                "done here — consumers stop reading after the first "
+                "result frame", False),
+        ]
+
+    def test_send_after_close(self, tmp_path):
+        report = run(tmp_path, FrameProtocolChecker(scope=()), """\
+            from repro.portfolio.frames import KIND_RESULT
+
+            def reopen(conn):
+                conn.close()
+                conn.send({"kind": KIND_RESULT, "payload": 1})
+            """)
+        assert golden(report) == [
+            (5, "'result' frame sent on `conn` which may be in state "
+                "closed here — the connection is already closed or "
+                "shut down", False),
+        ]
+
+    def test_conditional_result_is_may_flagged(self, tmp_path):
+        # Path-sensitive: only one branch sends the result, so the
+        # trailing heartbeat is illegal on *some* path.
+        report = run(tmp_path, FrameProtocolChecker(scope=()), """\
+            from repro.portfolio.frames import KIND_HEARTBEAT, KIND_RESULT
+
+            def maybe(conn, flag):
+                if flag:
+                    conn.send({"kind": KIND_RESULT, "payload": 1})
+                conn.send({"kind": KIND_HEARTBEAT})
+            """)
+        assert golden(report) == [
+            (6, "'heartbeat' frame sent on `conn` which may be in state "
+                "done here — consumers stop reading after the first "
+                "result frame", False),
+        ]
+
+    def test_double_request(self, tmp_path):
+        report = run(tmp_path, FrameProtocolChecker(scope=()), """\
+            from repro.portfolio.frames import KIND_REQUEST
+
+            def ask_twice(conn):
+                conn.send({"kind": KIND_REQUEST})
+                conn.send({"kind": KIND_REQUEST})
+            """)
+        assert golden(report) == [
+            (5, "'request' frame sent on `conn` which may be in state "
+                "await here — the previous request has not been "
+                "answered yet", False),
+        ]
+
+    def test_constructor_and_variable_resolution(self, tmp_path):
+        report = run(tmp_path, FrameProtocolChecker(scope=()), """\
+            from repro.portfolio.frames import KIND_HEARTBEAT, KIND_RESULT
+
+            def result_frame(payload):
+                return {"kind": KIND_RESULT, "payload": payload}
+
+            def emit(conn):
+                conn.send(result_frame(1))
+                frame = {"kind": KIND_HEARTBEAT}
+                conn.send(frame)
+            """)
+        assert golden(report) == [
+            (9, "'heartbeat' frame sent on `conn` which may be in state "
+                "done here — consumers stop reading after the first "
+                "result frame", False),
+        ]
+
+    def test_clean_stream_and_request_reply(self, tmp_path):
+        report = run(tmp_path, FrameProtocolChecker(scope=()), """\
+            from repro.portfolio.frames import (KIND_ARTIFACT,
+                                                KIND_HEARTBEAT,
+                                                KIND_RESULT,
+                                                KIND_SHUTDOWN)
+
+            def stream(conn, artifacts):
+                conn.send({"kind": KIND_HEARTBEAT})
+                for art in artifacts:
+                    conn.send({"kind": KIND_ARTIFACT, "artifact": art})
+                conn.send({"kind": KIND_RESULT, "payload": 0})
+                conn.send({"kind": KIND_SHUTDOWN})
+                conn.close()
+
+            def serve(conn):
+                while True:
+                    msg = conn.recv()
+                    conn.send({"kind": KIND_RESULT, "payload": msg})
+            """)
+        assert report.findings == []
+
+    def test_unresolvable_send_is_skipped(self, tmp_path):
+        report = run(tmp_path, FrameProtocolChecker(scope=()), """\
+            def forward(conn, frame):
+                conn.send(frame)
+                conn.send(frame)
+            """)
+        assert report.findings == []
+
+    def test_suppressed(self, tmp_path):
+        report = run(tmp_path, FrameProtocolChecker(scope=()), """\
+            from repro.portfolio.frames import KIND_RESULT
+
+            def replay(conn):
+                conn.send({"kind": KIND_RESULT, "payload": 1})
+                # repro: allow[frame-protocol] error replay fixture
+                conn.send({"kind": KIND_RESULT, "payload": 2})
+            """)
+        assert report.findings and report.ok
+
+    def test_artifact_only_module(self, tmp_path):
+        pkg = tmp_path / "repro" / "service"
+        pkg.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "cache.py").write_text(textwrap.dedent("""\
+            from repro.portfolio.frames import ARTIFACT_CLAUSES, KIND_RESULT
+
+            def entry(payload):
+                return {"kind": ARTIFACT_CLAUSES, "payload": payload}
+
+            def smuggle(payload):
+                return {"kind": KIND_RESULT, "payload": payload}
+            """))
+        report = analyze([tmp_path], [FrameProtocolChecker(scope=())])
+        assert [f.message for f in report.findings] == [
+            "'result' frame constructed in an artifact-only module — "
+            "cache entries and sharing payloads carry ARTIFACT_* kinds "
+            "only"]
 
 
 class TestAsyncBlocking:

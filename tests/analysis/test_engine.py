@@ -106,7 +106,7 @@ class TestCli:
         payload = json.loads(out.getvalue())
         assert payload["ok"] is True
         assert payload["files_checked"] == 1
-        assert len(payload["rules"]) == 6
+        assert len(payload["rules"]) == 7
 
     def test_unknown_rule_filter_is_an_error(self, tmp_path):
         assert run([str(tmp_path), "--rules=no-such-rule"],
@@ -122,3 +122,153 @@ class TestCli:
         payload = json.loads(out.getvalue())
         assert payload["rules"] == ["exact-arith"]
         assert code == 0
+
+    def test_check_pragmas_gate(self, tmp_path):
+        _write(tmp_path, "clean.py",
+               "x = 1  # repro: allow[exact-arith]\n")
+        assert run([str(tmp_path)], stream=io.StringIO()) == 0
+        out = io.StringIO()
+        assert run([str(tmp_path), "--check-pragmas"], stream=out) == 1
+        assert "unused-pragma" in out.getvalue()
+
+    def test_max_seconds_budget(self, tmp_path):
+        _write(tmp_path, "clean.py", "x = 1\n")
+        assert run([str(tmp_path), "--max-seconds=120"],
+                   stream=io.StringIO()) == 0
+        # An impossible budget trips the distinct exit code even on a
+        # clean tree.
+        assert run([str(tmp_path), "--max-seconds=0"],
+                   stream=io.StringIO()) == 3
+
+
+class TestSarif:
+    def _in_scope_tree(self, tmp_path):
+        # exact-arith's production scope wants repro.smt.*, so build a
+        # real package spine around the fixture module.
+        pkg = tmp_path / "repro" / "smt"
+        pkg.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "simplex.py").write_text(
+            "x = 1.5\n"
+            "y = 2.5  # repro: allow[exact-arith] fixture\n")
+
+    def test_sarif_log_shape(self, tmp_path):
+        self._in_scope_tree(tmp_path)
+        out = io.StringIO()
+        code = run([str(tmp_path), "--format=sarif"], stream=out)
+        assert code == 1
+        sarif = json.loads(out.getvalue())
+        assert sarif["version"] == "2.1.0"
+        (run_obj,) = sarif["runs"]
+        driver = run_obj["tool"]["driver"]
+        assert driver["name"] == "repro-analysis"
+        rule_ids = [r["id"] for r in driver["rules"]]
+        assert "exact-arith" in rule_ids
+        by_line = {r["locations"][0]["physicalLocation"]["region"]
+                   ["startLine"]: r for r in run_obj["results"]
+                   if r["ruleId"] == "exact-arith"}
+        assert set(by_line) == {1, 2}
+        assert "suppressions" not in by_line[1]
+        assert by_line[2]["suppressions"][0]["kind"] == "inSource"
+        for result in run_obj["results"]:
+            assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+
+    def test_sarif_covers_engine_rules(self, tmp_path):
+        _write(tmp_path, "stale.py",
+               "x = 1  # repro: allow[no-such-rule]\n")
+        out = io.StringIO()
+        code = run([str(tmp_path), "--format=sarif", "--check-pragmas"],
+                   stream=out)
+        assert code == 1
+        sarif = json.loads(out.getvalue())
+        driver = sarif["runs"][0]["tool"]["driver"]
+        assert "unused-pragma" in [r["id"] for r in driver["rules"]]
+        (result,) = sarif["runs"][0]["results"]
+        assert result["ruleId"] == "unused-pragma"
+        assert "suppressions" not in result
+
+
+class TestPragmaHygiene:
+    def test_region_suppresses_between_markers(self, tmp_path):
+        _write(tmp_path, "snippet.py", """\
+            # repro: allow[exact-arith]:begin advisory mirror
+            x = 1.5
+            y = float(2)
+            # repro: allow[exact-arith]:end
+            z = 2.5
+            """)
+        report = analyze([tmp_path], [ExactArithChecker(scope=())])
+        assert [(f.line, f.suppressed) for f in report.findings] == [
+            (2, True), (3, True), (5, False)]
+
+    def test_unmatched_begin_extends_to_eof(self, tmp_path):
+        _write(tmp_path, "snippet.py", """\
+            # repro: allow[exact-arith]:begin whole-file mirror
+            x = 1.5
+            y = 2.5
+            """)
+        report = analyze([tmp_path], [ExactArithChecker(scope=())])
+        assert [f.suppressed for f in report.findings] == [True, True]
+
+    def test_used_pragma_survives_check(self, tmp_path):
+        _write(tmp_path, "snippet.py",
+               "x = 1.5  # repro: allow[exact-arith]\n")
+        report = analyze([tmp_path], [ExactArithChecker(scope=())],
+                         check_pragmas=True)
+        assert [f.rule for f in report.findings] == ["exact-arith"]
+        assert report.ok
+
+    def test_stale_pragma_flagged(self, tmp_path):
+        _write(tmp_path, "snippet.py",
+               "x = 1  # repro: allow[exact-arith]\n")
+        report = analyze([tmp_path], [ExactArithChecker(scope=())],
+                         check_pragmas=True)
+        (finding,) = report.findings
+        assert finding.rule == "unused-pragma"
+        assert "suppresses nothing" in finding.message
+        assert not report.ok
+
+    def test_stale_region_flagged(self, tmp_path):
+        _write(tmp_path, "snippet.py", """\
+            # repro: allow[exact-arith]:begin nothing here
+            x = 1
+            # repro: allow[exact-arith]:end
+            """)
+        report = analyze([tmp_path], [ExactArithChecker(scope=())],
+                         check_pragmas=True)
+        (finding,) = report.findings
+        assert finding.line == 1
+        assert "region suppresses no findings" in finding.message
+
+    def test_unknown_rule_pragma_flagged(self, tmp_path):
+        _write(tmp_path, "snippet.py",
+               "x = 1  # repro: allow[no-such-rule]\n")
+        report = analyze([tmp_path], [ExactArithChecker(scope=())],
+                         check_pragmas=True)
+        (finding,) = report.findings
+        assert "unknown rule 'no-such-rule'" in finding.message
+        assert "exact-arith" in finding.message
+
+    def test_orphan_end_flagged(self, tmp_path):
+        _write(tmp_path, "snippet.py", """\
+            x = 1
+            # repro: allow[exact-arith]:end
+            """)
+        report = analyze([tmp_path], [ExactArithChecker(scope=())],
+                         check_pragmas=True)
+        (finding,) = report.findings
+        assert "has no matching :begin" in finding.message
+
+    def test_unused_pragma_is_unsuppressible(self, tmp_path):
+        # A pragma cannot vouch for itself: even an allow[unused-pragma]
+        # comment on the same line leaves the finding open.
+        _write(tmp_path, "snippet.py",
+               "x = 1  # repro: allow[exact-arith] "
+               "repro: allow[unused-pragma]\n")
+        report = analyze([tmp_path], [ExactArithChecker(scope=())],
+                         check_pragmas=True)
+        assert report.findings
+        assert all(f.rule == "unused-pragma" and not f.suppressed
+                   for f in report.findings)
+        assert not report.ok
